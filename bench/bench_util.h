@@ -1,0 +1,74 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints (a) the paper's expected shape for the experiment it
+// regenerates and (b) the measured numbers, in aligned table form. The
+// absolute values come from the calibrated simulator; EXPERIMENTS.md records
+// the comparison against the paper.
+#ifndef BIZA_BENCH_BENCH_UTIL_H_
+#define BIZA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+
+// The standard scaled-down 4 x ZN540 testbed: 96 zones x 8 MiB per SSD.
+inline PlatformConfig BenchConfig(uint64_t seed = 1) {
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/96, /*zone_capacity_blocks=*/2048);
+  config.MatchConvCapacity();
+  config.seed = seed;
+  return config;
+}
+
+// A larger testbed for throughput experiments (less GC interference).
+inline PlatformConfig ThroughputConfig(uint64_t seed = 1) {
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/128, /*zone_capacity_blocks=*/6144);
+  config.MatchConvCapacity();
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintTitle(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintPaperNote(const char* note) {
+  std::printf("paper: %s\n\n", note);
+}
+
+// Ideal RAID 5 write throughput: k devices stream data while one absorbs
+// parity (§5.2: 6.4 GB/s for 4 x ZN540).
+inline double IdealWriteMBps(const PlatformConfig& config) {
+  return static_cast<double>(config.num_ssds - 1) *
+         config.zns.timing.ctrl_write_mbps;
+}
+
+inline double IdealReadMBps(const PlatformConfig& config) {
+  return static_cast<double>(config.num_ssds) * config.zns.timing.ctrl_read_mbps;
+}
+
+// Runs a write microbenchmark on a block platform. RAIZN (zoned) callers use
+// ZonedSeqDriver directly.
+inline DriverReport RunBlockMicro(Simulator* sim, Platform* platform,
+                                  bool sequential, bool write,
+                                  uint64_t request_blocks, int iodepth,
+                                  uint64_t max_requests, SimTime max_duration) {
+  MicroWorkload workload(sequential, write, request_blocks,
+                         platform->block()->capacity_blocks(), 7);
+  Driver driver(sim, platform->block(), &workload, iodepth);
+  return driver.Run(max_requests, max_duration);
+}
+
+}  // namespace biza
+
+#endif  // BIZA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Figure 15: 99th / 99.99th percentile write latency after GC starts, at
+// I/O depth 32 (throughput-sensitive) and 1 (latency-sensitive), for 4/64/
+// 192 KiB sequential writes.
+//
+// Paper shapes: all platforms suffer under GC; BIZA's channel detection +
+// GC avoidance cuts the spikes by 27.4% (depth 32) and 74.9% (depth 1)
+// versus BIZAw/oAvoid; results normalized to BIZA with no GC running.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace biza {
+namespace {
+
+struct TailResult {
+  double p99_us = 0;
+  double p9999_us = 0;
+};
+
+TailResult RunCase(PlatformKind kind, uint64_t req_blocks, int iodepth,
+                   bool force_gc) {
+  Simulator sim;
+  PlatformConfig config = BenchConfig(5);
+  // Moderate utilization: GC runs steadily without starving the allocator
+  // (write stalls would otherwise dominate the extreme tail identically in
+  // both variants and mask the avoidance effect).
+  config.biza.exposed_capacity_ratio = 0.55;
+  auto platform = Platform::Create(&sim, kind, config);
+  BlockTarget* target = platform->block();
+
+  if (force_gc) {
+    // Steady-state with reclaimable space: fill half, overwrite it twice.
+    const uint64_t half = target->capacity_blocks() / 2;
+    Driver::Fill(&sim, target, half);
+    MicroWorkload churn(false, true, 8, half, 11);
+    Driver churner(&sim, target, &churn, 16);
+    churner.Run(2 * half / 8, 120 * kSecond);
+  }
+
+  const uint64_t footprint = target->capacity_blocks() / 4;
+  MicroWorkload workload(true, true, req_blocks, footprint, 3);
+  Driver driver(&sim, target, &workload, iodepth);
+  // The no-GC baseline must stay a single pass (no wrap, no overwrites, no
+  // reclaim); the GC rows deliberately wrap to keep GC running.
+  const uint64_t max_requests =
+      force_gc ? 25000 : std::min<uint64_t>(25000, footprint / req_blocks);
+  const DriverReport report = driver.Run(max_requests, 4 * kSecond);
+  return TailResult{
+      static_cast<double>(report.write_latency.Percentile(99)) / 1e3,
+      static_cast<double>(report.write_latency.Percentile(99.99)) / 1e3};
+}
+
+void Run() {
+  PrintTitle("Figure 15", "tail write latency after GC starts");
+  PrintPaperNote(
+      "normalized to BIZA(no GC): avoidance cuts 99.99th tails by 27.4% at "
+      "depth 32 and 74.9% at depth 1 vs BIZAw/oAvoid");
+
+  const std::vector<uint64_t> sizes = {1, 16, 48};
+  for (int iodepth : {32, 1}) {
+    std::printf("--- iodepth %d (%s-sensitive) ---\n", iodepth,
+                iodepth == 32 ? "throughput" : "latency");
+    std::printf("%-18s %22s %22s %22s\n", "platform", "4K p99/p99.99(us)",
+                "64K p99/p99.99", "192K p99/p99.99");
+    double biza_tail = 0, noavoid_tail = 0;
+    for (auto kind :
+         {PlatformKind::kBiza, PlatformKind::kBizaNoAvoid}) {
+      for (bool gc : {false, true}) {
+        if (!gc && kind != PlatformKind::kBiza) {
+          continue;  // the no-GC baseline only needs one platform
+        }
+        std::printf("%-18s", gc ? PlatformKindName(kind) : "BIZA(no GC)");
+        for (uint64_t blocks : sizes) {
+          const TailResult r = RunCase(kind, blocks, iodepth, gc);
+          std::printf("   %8.0f/%10.0f", r.p99_us, r.p9999_us);
+          if (gc && kind == PlatformKind::kBiza) {
+            biza_tail += r.p9999_us;
+          } else if (gc) {
+            noavoid_tail += r.p9999_us;
+          }
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("avoidance reduces 99.99th tails by %.1f%% at depth %d\n\n",
+                (1.0 - biza_tail / noavoid_tail) * 100.0, iodepth);
+  }
+}
+
+}  // namespace
+}  // namespace biza
+
+int main() {
+  biza::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 17: CPU overhead — per-component CPU usage and CPU efficiency
+// (usage per GB/s) for 64 and 192 KiB sequential writes.
+//
+// Paper shapes: dm-zap's one-in-flight spinlock dominates (50.4% of
+// dmzap+RAIZN's CPU, 84.7% of mdraid+dmzap's); BIZA spends ~31.5% more CPU
+// than dmzap+RAIZN to parallelize I/O but wins on CPU efficiency because
+// throughput rises ~88.5%.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace biza {
+namespace {
+
+void RunCase(PlatformKind kind, uint64_t req_blocks) {
+  Simulator sim;
+  PlatformConfig config = ThroughputConfig(23);
+  auto platform = Platform::Create(&sim, kind, config);
+  const SimTime start = sim.Now();
+  const DriverReport report =
+      RunBlockMicro(&sim, platform.get(), /*sequential=*/true, /*write=*/true,
+                    req_blocks, /*iodepth=*/32, 200000, kSecond / 2);
+  const SimTime elapsed = sim.Now() - start;
+
+  const auto cpu = platform->CpuBreakdown();
+  SimTime total_ns = 0;
+  for (const auto& [component, ns] : cpu) {
+    total_ns += ns;
+  }
+  const double usage =
+      static_cast<double>(total_ns) / static_cast<double>(elapsed) * 100.0;
+  const double gbps = report.WriteMBps() / 1000.0;
+  std::printf("%-16s %7lluK %9.0f %10.1f%% %12.1f", PlatformKindName(kind),
+              static_cast<unsigned long long>(req_blocks * 4),
+              report.WriteMBps(), usage, gbps > 0 ? usage / gbps : 0.0);
+  for (const auto& [component, ns] : cpu) {
+    std::printf("  %s=%.0f%%", component.c_str(),
+                static_cast<double>(ns) / static_cast<double>(elapsed) * 100.0);
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  PrintTitle("Figure 17", "CPU overhead and CPU efficiency");
+  PrintPaperNote(
+      "dmzap spinlock = 50.4% of dmzap+RAIZN CPU and 84.7% of mdraid+dmzap "
+      "CPU; BIZA uses +31.5% CPU vs dmzap+RAIZN but has the best CPU "
+      "efficiency (usage per GB/s) thanks to +88.5% throughput");
+
+  std::printf("%-16s %8s %9s %11s %12s  per-component usage\n", "platform",
+              "size", "MB/s", "CPU usage", "CPU/GBps");
+  for (uint64_t blocks : {16ull, 48ull}) {
+    for (PlatformKind kind :
+         {PlatformKind::kBiza, PlatformKind::kDmzapRaizn,
+          PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv}) {
+      RunCase(kind, blocks);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace biza
+
+int main() {
+  biza::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Hot-path component microbenchmarks (google-benchmark): the per-operation
+// costs behind BIZA's CPU model — GF(256)/Reed-Solomon coding, ghost-cache
+// bookkeeping, sliding-window scheduling, and histogram recording.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/biza/ghost_cache.h"
+#include "src/biza/zone_scheduler.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/raid/gf256.h"
+#include "src/raid/reed_solomon.h"
+#include "src/sim/simulator.h"
+#include "src/zns/zns_device.h"
+
+namespace biza {
+namespace {
+
+void BM_Gf256Mul(benchmark::State& state) {
+  Rng rng(1);
+  uint8_t a = static_cast<uint8_t>(rng.Next());
+  uint8_t b = static_cast<uint8_t>(rng.Next() | 1);
+  for (auto _ : state) {
+    a = Gf256::Mul(a, b);
+    benchmark::DoNotOptimize(a);
+    b = static_cast<uint8_t>(b + 2);
+  }
+}
+BENCHMARK(BM_Gf256Mul);
+
+void BM_XorParity(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint64_t> data(static_cast<size_t>(state.range(0)));
+  for (auto& d : data) {
+    d = rng.Next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XorParity(data));
+  }
+}
+BENCHMARK(BM_XorParity)->Arg(3)->Arg(7)->Arg(15);
+
+void BM_RsEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  ReedSolomon rs(k, m);
+  Rng rng(3);
+  std::vector<uint64_t> data(static_cast<size_t>(k));
+  for (auto& d : data) {
+    d = rng.Next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.EncodePatterns(data));
+  }
+}
+BENCHMARK(BM_RsEncode)->Args({3, 1})->Args({3, 2})->Args({8, 2});
+
+void BM_RsReconstruct(benchmark::State& state) {
+  ReedSolomon rs(3, 2);
+  Rng rng(4);
+  std::vector<uint64_t> data{rng.Next(), rng.Next(), rng.Next()};
+  auto parity = rs.EncodePatterns(data);
+  for (auto _ : state) {
+    std::vector<uint64_t> shards{0, data[1], data[2], parity[0], 0};
+    std::vector<bool> present{false, true, true, true, false};
+    benchmark::DoNotOptimize(rs.ReconstructPatterns(shards, present));
+  }
+}
+BENCHMARK(BM_RsReconstruct);
+
+void BM_GhostCacheOnWrite(benchmark::State& state) {
+  GhostCacheConfig config;
+  config.lru_entries = 65536;
+  config.hr_entries = 16384;
+  config.hp_entries = 2048;
+  GhostCache cache(config);
+  ZipfGenerator zipf(100000, 0.9, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.OnWrite(zipf.Next()));
+  }
+}
+BENCHMARK(BM_GhostCacheOnWrite);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(6);
+  for (auto _ : state) {
+    hist.Record(rng.Uniform(10000000));
+  }
+  benchmark::DoNotOptimize(hist.Percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SchedulerSubmitComplete(benchmark::State& state) {
+  Simulator sim;
+  ZnsConfig config = ZnsConfig::Zn540(/*num_zones=*/512, /*zone_cap=*/4096);
+  config.max_open_zones = 512;
+  ZnsDevice dev(&sim, config);
+  uint32_t zone = 0;
+  (void)dev.OpenZone(zone, true);
+  auto sched = std::make_unique<ZoneScheduler>(&dev, zone);
+  for (auto _ : state) {
+    if (sched->free_blocks() == 0) {
+      state.PauseTiming();
+      sim.RunUntilIdle();
+      zone++;
+      if (zone >= config.num_zones) {
+        break;
+      }
+      (void)dev.OpenZone(zone, true);
+      sched = std::make_unique<ZoneScheduler>(&dev, zone);
+      state.ResumeTiming();
+    }
+    const uint64_t off = sched->Allocate(1);
+    sched->SubmitWrite(off, {off}, {}, [](const Status&) {});
+  }
+  sim.RunUntilIdle();
+}
+BENCHMARK(BM_SchedulerSubmitComplete);
+
+}  // namespace
+}  // namespace biza
+
+BENCHMARK_MAIN();

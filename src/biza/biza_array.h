@@ -1,0 +1,275 @@
+// BizaArray: the self-governing block-interface ZNS AFA engine (§4).
+//
+// Exposes a plain block interface while coordinating all SSD-internal tasks
+// through the ZNS interface of the member devices:
+//
+//   write request
+//     └─ parity computed per touched stripe (RAID 5, left-asymmetric)
+//     └─ zone group selector (ghost caches) picks the tier of every chunk:
+//          high-profit  -> ZRWA-aware zone group (updates absorbed in ZRWA)
+//          high-revenue -> GC-aware zone group   (dies together, cheap GC)
+//          otherwise    -> trivial zone group
+//     └─ GC avoidance picks, within the group, a zone whose detected I/O
+//        channel is not BUSY with garbage collection
+//     └─ ZRWA-aware sliding-window scheduler submits the device writes in
+//        parallel, immune to I/O-stack reordering
+//     └─ completion latencies feed the guess-and-verify channel detector
+//
+// Mapping state is the paper's two tables:
+//   BMT: LBN -> 40-bit physical address (8-bit SSD | 32-bit offset) + SN
+//   SMT: SN  -> parity physical address(es)
+// plus an in-DRAM stripe member index (data PAs + live count) used for
+// degraded reads and GC parity invalidation; like BMT/SMT it is rebuilt
+// from the per-block OOB records (LBN, SN) during recovery.
+//
+// The write path is log-structured with ZRWA relaxation: a chunk whose
+// current location is still inside its zone's sliding window — and whose
+// stripe parity is too — is overwritten in place (no flash program until
+// the window slides); everything else is appended into a fresh stripe.
+#ifndef BIZA_SRC_BIZA_BIZA_ARRAY_H_
+#define BIZA_SRC_BIZA_BIZA_ARRAY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/biza/biza_config.h"
+#include "src/biza/channel_detector.h"
+#include "src/biza/ghost_cache.h"
+#include "src/biza/zone_scheduler.h"
+#include "src/engines/target.h"
+#include "src/metrics/cpu_account.h"
+#include "src/metrics/wa_report.h"
+#include "src/raid/geometry.h"
+#include "src/raid/reed_solomon.h"
+#include "src/sim/simulator.h"
+#include "src/zns/zns_device.h"
+
+namespace biza {
+
+struct BizaStats {
+  uint64_t user_written_blocks = 0;
+  uint64_t user_read_blocks = 0;
+  uint64_t inplace_updates = 0;        // data chunks overwritten in ZRWA
+  uint64_t appended_chunks = 0;        // out-of-place data chunk writes
+  uint64_t parity_writes = 0;          // parity chunk device writes (incl. PP updates)
+  uint64_t parity_inplace_updates = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_migrated_data = 0;
+  uint64_t gc_migrated_parity = 0;
+  uint64_t gc_zone_resets = 0;
+  uint64_t degraded_reads = 0;
+  uint64_t write_stalls = 0;     // requests parked awaiting GC space
+  uint64_t busy_skips = 0;       // zone picks steered off a BUSY channel
+};
+
+class BizaArray : public BlockTarget {
+ public:
+  BizaArray(Simulator* sim, std::vector<ZnsDevice*> devices,
+            const BizaConfig& config);
+  ~BizaArray() override = default;
+
+  uint64_t capacity_blocks() const override { return exposed_blocks_; }
+
+  void SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
+                   WriteCallback cb, WriteTag tag) override;
+  void SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) override;
+  void FlushBuffers(std::function<void()> done) override;
+
+  // Fault injection: degraded reads reconstruct this device's chunks from
+  // the surviving stripe members + parity.
+  void SetDeviceFailed(int device, bool failed);
+
+  // Crash recovery: rebuilds BMT/SMT/stripe index by scanning every
+  // device's OOB records (§4.1). Requires a quiesced array (no in-flight
+  // I/O or GC).
+  Status Recover();
+
+  const BizaStats& stats() const { return stats_; }
+  CpuAccount& cpu() { return cpu_; }
+  const ChannelDetector& detector(int device) const {
+    return *detectors_[static_cast<size_t>(device)];
+  }
+  bool gc_active() const { return gc_active_; }
+  const BizaConfig& config() const { return config_; }
+
+  // Test hooks.
+  uint64_t DebugBmtPa(uint64_t lbn) const;
+  uint64_t FreeZonesOf(int device) const;
+
+ private:
+  static constexpr uint64_t kInvalidPa = ~0ULL;
+
+  // 40-bit physical address: 8-bit device | 32-bit global block offset.
+  static uint64_t MakePa(int device, uint32_t zone, uint64_t offset,
+                         uint64_t zone_cap) {
+    return (static_cast<uint64_t>(device) << 32) |
+           (static_cast<uint64_t>(zone) * zone_cap + offset);
+  }
+  int PaDevice(uint64_t pa) const { return static_cast<int>(pa >> 32); }
+  uint32_t PaZone(uint64_t pa) const {
+    return static_cast<uint32_t>((pa & 0xFFFFFFFFULL) / zone_cap_);
+  }
+  uint64_t PaOffset(uint64_t pa) const {
+    return (pa & 0xFFFFFFFFULL) % zone_cap_;
+  }
+
+  struct BmtEntry {
+    uint64_t pa = kInvalidPa;
+    uint32_t sn = 0;
+  };
+
+  struct StripeInfo {
+    std::vector<uint64_t> data_pa;    // k entries (kInvalidPa while filling)
+    std::vector<uint64_t> parity_pa;  // m entries (kInvalidPa until written)
+    uint32_t live = 0;
+  };
+
+  enum class ZoneUse : uint8_t { kFree, kActive, kSealed };
+
+  struct DevZone {
+    ZoneUse use = ZoneUse::kFree;
+    uint64_t valid = 0;
+    std::unique_ptr<ZoneScheduler> sched;  // non-null while kActive
+    bool seal_pending = false;
+  };
+
+  // A zone group on one device: a rotating set of active ZRWA zones kept
+  // at `width` members (full zones are sealed and replaced).
+  struct ZoneGroup {
+    std::vector<uint32_t> zones;  // active zone ids
+    size_t rr = 0;
+    size_t width = 0;
+  };
+  enum GroupKind {
+    kGroupZrwa = 0,
+    kGroupGcAware = 1,
+    kGroupTrivial = 2,
+    kGroupParity = 3,
+    kGroupGcDest = 4,
+    kNumGroups = 5,
+  };
+
+  // Stripe under construction for a placement class.
+  struct StripeBuilder {
+    bool open = false;
+    uint32_t sn = 0;
+    std::vector<uint64_t> patterns;      // filled slots
+    std::vector<uint64_t> lbns;
+    std::vector<int> parity_devices;     // m rotating parity drives
+    std::vector<uint64_t> parity_pa;     // m parity locations
+  };
+
+  ZoneScheduler* SchedOf(uint64_t pa);
+  DevZone& ZoneOf(int device, uint32_t zone) {
+    return zones_[static_cast<size_t>(device)][zone];
+  }
+
+  // Opens a fresh zone (with ZRWA) into the group; returns false when the
+  // device has no free zones. GC-destination and parity groups may dip into
+  // the reserved zones so GC and stripe parity always make progress.
+  bool ReplenishGroup(int device, GroupKind kind, bool emergency = false);
+  void RetryStalled();
+  // Picks the zone in the group to write next, honouring BUSY channels.
+  ZoneScheduler* PickZone(int device, GroupKind kind, uint64_t need_blocks);
+  void SealZone(int device, uint32_t zone);
+  void MaybeFinishSeal(int device, uint32_t zone);
+  // Force-seals the most-garbage idle ACTIVE zone so GC has a victim when
+  // every sealed zone is fully valid (garbage trapped in open zones).
+  bool ForceSealGarbageZone();
+
+  void InvalidateChunk(uint64_t lbn);
+  void InvalidatePa(uint64_t pa);
+  void InitGroups();
+  void WriteStripeParity(StripeBuilder& builder, WriteTag tag);
+
+  // GC machinery (§4.3).
+  void MaybeStartGc();
+  void GcStep();
+  std::pair<int, uint32_t> PickGcVictim() const;
+  void FinishGcVictim();
+  // The channel(s) GC keeps busy on `device`: the GC destination zone's
+  // channel on every device, plus the victim zone's channel on the victim
+  // device (reads + the eventual erase hammer it).
+  bool IsBusyChannel(int device, int channel) const;
+  int VoteChannelOf(int device) const;  // channel spikes are attributed to
+  bool VoteConfirmed(int device) const;
+
+  void RecordCompletion(int device, uint32_t zone, SimTime submit_time);
+
+  Simulator* sim_;
+  std::vector<ZnsDevice*> devices_;
+  BizaConfig config_;
+  StripeGeometry geometry_;
+  int n_;
+  int k_;
+  int m_ = 1;
+  std::unique_ptr<ReedSolomon> rs_;  // non-null when m_ >= 2
+  uint64_t zone_cap_;
+  uint32_t num_zones_;
+  uint64_t exposed_blocks_;
+
+  std::vector<BmtEntry> bmt_;
+  // SMT: sn -> m parity PAs (flat, stride m_), per the paper's table layout.
+  std::vector<uint64_t> smt_;
+  std::vector<StripeInfo> stripes_;    // sn -> members
+  uint32_t next_sn_ = 0;
+
+  uint64_t SmtAt(uint32_t sn, int row) const {
+    return smt_[static_cast<size_t>(sn) * static_cast<size_t>(m_) +
+                static_cast<size_t>(row)];
+  }
+  void SmtSet(uint32_t sn, int row, uint64_t pa) {
+    smt_[static_cast<size_t>(sn) * static_cast<size_t>(m_) +
+         static_cast<size_t>(row)] = pa;
+  }
+  // Computes the m parity patterns over the builder's (possibly partial,
+  // zero-padded) data slots.
+  std::vector<uint64_t> ComputeParities(const std::vector<uint64_t>& data) const;
+
+  std::vector<std::vector<DevZone>> zones_;          // [device][zone]
+  std::vector<std::array<ZoneGroup, kNumGroups>> groups_;  // [device]
+  std::vector<std::unique_ptr<GhostCache>> ghost_;   // one (array-wide)
+  std::vector<std::unique_ptr<ChannelDetector>> detectors_;  // per device
+
+  // Stripe builders: one per data placement class (3 tiers + GC).
+  static constexpr int kNumBuilders = 4;
+  static constexpr int kGcBuilder = 3;
+  std::array<StripeBuilder, kNumBuilders> builders_;
+
+  // GC state.
+  bool gc_active_ = false;
+  int gc_device_ = -1;
+  uint32_t gc_victim_zone_ = 0;
+  uint64_t gc_scan_ = 0;
+  // Per-device BUSY channel attribution while GC runs (the channels of the
+  // GC destination zones).
+  std::vector<int> gc_busy_channel_set_;
+  std::vector<bool> gc_busy_confirmed_set_;
+  int gc_victim_channel_ = -1;
+  bool gc_victim_confirmed_ = false;
+  // Channels still digesting a zone erase: busy until the stored time even
+  // after GC itself has moved on ([device][channel] -> cooldown end).
+  std::vector<std::vector<SimTime>> channel_busy_until_;
+
+  uint64_t selector_rr_ = 0;    // BIZAw/oSelector round-robin
+  uint64_t parity_version_ = 0; // monotonic version stamped into parity OOB
+  std::vector<std::function<void()>> stalled_writes_;  // GC backpressure
+  bool stall_timer_armed_ = false;
+  bool retry_scheduled_ = false;
+  bool fail_stalled_ = false;   // ENOSPC mode: parking requests fail instead
+  uint64_t stall_progress_marker_ = 0;
+  int stall_futile_rounds_ = 0;
+  void ArmStallTimer();
+
+  std::vector<bool> device_failed_;
+
+  BizaStats stats_;
+  CpuAccount cpu_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_BIZA_BIZA_ARRAY_H_

@@ -1,0 +1,93 @@
+#include "src/biza/channel_detector.h"
+
+#include <cassert>
+
+namespace biza {
+
+ChannelDetector::ChannelDetector(const ChannelDetectorConfig& config,
+                                 uint32_t num_zones)
+    : config_(config),
+      guess_(num_zones, -1),
+      confirmed_(num_zones, false) {}
+
+int ChannelDetector::OnZoneOpened(uint32_t zone) {
+  assert(zone < guess_.size());
+  const int guess = static_cast<int>(
+      open_seq_ % static_cast<uint64_t>(config_.num_channels));
+  open_seq_++;
+  guess_[zone] = guess;
+  confirmed_[zone] = false;
+  votes_.erase(zone);
+  return guess;
+}
+
+void ChannelDetector::OnZoneReset(uint32_t zone) {
+  assert(zone < guess_.size());
+  guess_[zone] = -1;
+  confirmed_[zone] = false;
+  votes_.erase(zone);
+}
+
+void ChannelDetector::Confirm(uint32_t zone, int channel) {
+  assert(zone < guess_.size());
+  guess_[zone] = channel;
+  confirmed_[zone] = true;
+  votes_.erase(zone);
+}
+
+void ChannelDetector::RecordWriteLatency(uint32_t zone, SimTime latency_ns,
+                                         int busy_channel,
+                                         bool busy_confirmed) {
+  const double lat = static_cast<double>(latency_ns);
+  const double prev_ewma = lat_ewma_;
+  if (!has_ewma_) {
+    lat_ewma_ = lat;
+    has_ewma_ = true;
+    return;
+  }
+  lat_ewma_ = config_.latency_ewma_alpha * lat +
+              (1.0 - config_.latency_ewma_alpha) * lat_ewma_;
+
+  if (busy_channel < 0 || zone >= guess_.size() || confirmed_[zone]) {
+    return;
+  }
+  if (lat <= config_.spike_factor * prev_ewma) {
+    return;
+  }
+  stats_.spikes_observed++;
+  if (guess_[zone] == busy_channel) {
+    return;  // the guess already explains the spike
+  }
+  // Vote: this zone is maybe on the BUSY channel (B in Fig. 8).
+  auto& zone_votes = votes_[zone];
+  const int weight = busy_confirmed ? config_.vote_threshold : 1;
+  zone_votes[busy_channel] += weight;
+  stats_.votes_cast++;
+  if (busy_confirmed) {
+    stats_.confirmed_shortcuts++;
+  }
+  if (zone_votes[busy_channel] >= config_.vote_threshold) {
+    // Rectify to the channel with the most votes (C in Fig. 8).
+    int best_channel = busy_channel;
+    int best_votes = 0;
+    for (const auto& [channel, count] : zone_votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best_channel = channel;
+      }
+    }
+    guess_[zone] = best_channel;
+    votes_.erase(zone);
+    stats_.corrections++;
+  }
+}
+
+int ChannelDetector::ChannelOf(uint32_t zone) const {
+  return zone < guess_.size() ? guess_[zone] : -1;
+}
+
+bool ChannelDetector::IsConfirmed(uint32_t zone) const {
+  return zone < confirmed_.size() && confirmed_[zone];
+}
+
+}  // namespace biza

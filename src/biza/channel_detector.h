@@ -1,0 +1,83 @@
+// Guess-and-verify zone-to-I/O-channel detection (§4.3, Fig. 8).
+//
+// ZNS SSDs hide which I/O channel backs each zone (the device decides at
+// open time, for wear leveling). BIZA needs the mapping to steer user writes
+// away from GC-busy channels, so it:
+//
+//  1. GUESSES round-robin: the i-th zone the engine opens on a device is
+//     conjectured to sit on channel i mod C (commodity devices mostly do
+//     this, per the paper and eZNS).
+//  2. CONFIRMS a few "criterion" zones up front with the zone-to-zone
+//     latency diagnosis (§3.3); their mapping is trusted absolutely.
+//  3. VERIFIES online: when a write to zone z spikes in latency while GC
+//     keeps channel c busy, that is a vote for "z is on c". Enough votes
+//     (default 3) rectify the guess. A single vote suffices when c's BUSY
+//     attribution came from a confirmed zone.
+#ifndef BIZA_SRC_BIZA_CHANNEL_DETECTOR_H_
+#define BIZA_SRC_BIZA_CHANNEL_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace biza {
+
+struct ChannelDetectorConfig {
+  int num_channels = 8;
+  double spike_factor = 3.0;   // latency > factor * EWMA == spike
+  int vote_threshold = 3;
+  double latency_ewma_alpha = 0.05;
+};
+
+struct ChannelDetectorStats {
+  uint64_t spikes_observed = 0;
+  uint64_t votes_cast = 0;
+  uint64_t corrections = 0;
+  uint64_t confirmed_shortcuts = 0;
+};
+
+class ChannelDetector {
+ public:
+  // One detector per device.
+  explicit ChannelDetector(const ChannelDetectorConfig& config,
+                           uint32_t num_zones);
+
+  // Registers a zone the engine just opened; returns the round-robin guess.
+  int OnZoneOpened(uint32_t zone);
+
+  // Forgets a zone (it was reset); its next open gets a fresh guess.
+  void OnZoneReset(uint32_t zone);
+
+  // Marks a zone's channel as confirmed ground truth (initial diagnosis).
+  void Confirm(uint32_t zone, int channel);
+
+  // Feeds a completed user write: updates the latency EWMA and, during GC
+  // (busy_channel >= 0, `busy_confirmed` if that attribution is trusted),
+  // casts correction votes on spikes.
+  void RecordWriteLatency(uint32_t zone, SimTime latency_ns, int busy_channel,
+                          bool busy_confirmed);
+
+  // Current belief about the zone's channel (-1 if the zone is unknown).
+  int ChannelOf(uint32_t zone) const;
+  bool IsConfirmed(uint32_t zone) const;
+
+  double latency_ewma() const { return lat_ewma_; }
+  const ChannelDetectorStats& stats() const { return stats_; }
+
+ private:
+  ChannelDetectorConfig config_;
+  std::vector<int> guess_;       // -1 = never opened
+  std::vector<bool> confirmed_;
+  uint64_t open_seq_ = 0;
+  double lat_ewma_ = 0.0;
+  bool has_ewma_ = false;
+  // votes_[zone][channel] -> count
+  std::map<uint32_t, std::map<int, int>> votes_;
+  ChannelDetectorStats stats_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_BIZA_CHANNEL_DETECTOR_H_

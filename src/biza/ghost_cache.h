@@ -1,0 +1,105 @@
+// Ghost-cache-based chunk classifier — the zone group selector's brain
+// (§4.2, Fig. 7).
+//
+// Three attribute-only ("ghost") caches track write locality:
+//
+//   LRU cache  -- admission filter: chunks with poor temporal locality fall
+//                 off the tail and stay "trivial".
+//   HR cache   -- high-revenue: chunks whose predicted reaccess count passed
+//                 the promotion threshold. Priority queue evicting the
+//                 MINIMUM reaccess count back to the LRU cache.
+//   HP cache   -- high-profit: high-revenue chunks whose predicted reuse
+//                 distance is short enough to fit ZRWA. Priority queue
+//                 evicting the MAXIMUM reuse distance back to the HR cache.
+//
+// Predictions (paper's choices): accumulated reaccess count, and a weighted
+// moving average of recent reuse distances. Reuse distance is measured in
+// blocks written between two consecutive writes of the same key.
+//
+// The caches store attributes only — no payloads — so a million tracked
+// chunks cost a few tens of MB (7.6 MB in the paper's configuration).
+#ifndef BIZA_SRC_BIZA_GHOST_CACHE_H_
+#define BIZA_SRC_BIZA_GHOST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <set>
+#include <unordered_map>
+
+namespace biza {
+
+enum class ChunkTier : uint8_t {
+  kTrivial = 0,      // unknown / poor locality -> trivial zone group
+  kHighRevenue = 1,  // many reaccesses, long reuse -> GC-aware zone group
+  kHighProfit = 2,   // many reaccesses, short reuse -> ZRWA-aware zone group
+};
+
+struct GhostCacheConfig {
+  uint64_t lru_entries = 65536;
+  uint64_t hr_entries = 16384;
+  uint64_t hp_entries = 2048;
+  uint32_t promote_reaccess = 3;        // LRU -> HR threshold (paper: 3)
+  uint64_t hp_reuse_threshold = 28672;  // blocks; set to 2 x total ZRWA
+  double reuse_ewma_alpha = 0.5;
+};
+
+struct GhostCacheStats {
+  uint64_t lookups = 0;
+  uint64_t lru_hits = 0;
+  uint64_t hr_promotions = 0;
+  uint64_t hp_promotions = 0;
+  uint64_t hr_demotions = 0;   // HP -> HR evictions
+  uint64_t lru_demotions = 0;  // HR -> LRU evictions
+};
+
+class GhostCache {
+ public:
+  explicit GhostCache(const GhostCacheConfig& config) : config_(config) {}
+
+  // Records a write of `key` (one block) and returns the tier the chunk
+  // should be placed in. Advances the reuse-distance clock by one block.
+  ChunkTier OnWrite(uint64_t key);
+
+  // Current tier without side effects (kTrivial if untracked or LRU-only).
+  ChunkTier TierOf(uint64_t key) const;
+
+  const GhostCacheStats& stats() const { return stats_; }
+  uint64_t tracked_entries() const { return nodes_.size(); }
+  uint64_t clock() const { return clock_; }
+
+ private:
+  enum class Residence : uint8_t { kLru, kHr, kHp };
+
+  struct Node {
+    Residence where = Residence::kLru;
+    uint32_t reaccess = 0;
+    double reuse_ewma = 0.0;
+    bool has_reuse = false;
+    uint64_t last_clock = 0;
+    std::list<uint64_t>::iterator lru_it;  // valid iff where == kLru
+  };
+
+  // Reuse distance quantized for set ordering (ties broken by key).
+  static uint64_t Quantize(double reuse) {
+    return reuse < 0.0 ? 0 : static_cast<uint64_t>(reuse);
+  }
+
+  void UpdateAttrs(Node& node);
+  void InsertLru(uint64_t key, Node& node);
+  void PromoteToHr(uint64_t key, Node& node);
+  void PromoteToHp(uint64_t key, Node& node);
+  void EvictHrIfFull();
+  void EvictHpIfFull();
+
+  GhostCacheConfig config_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::set<std::pair<uint32_t, uint64_t>> hr_;  // (reaccess, key), min-evict
+  std::set<std::pair<uint64_t, uint64_t>> hp_;  // (reuse, key), max-evict
+  uint64_t clock_ = 0;
+  GhostCacheStats stats_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_BIZA_GHOST_CACHE_H_

@@ -1,0 +1,183 @@
+#include "src/biza/zone_scheduler.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace biza {
+
+ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone)
+    : device_(device), zone_(zone) {
+  capacity_ = device_->config().zone_capacity_blocks;
+  zrwa_blocks_ = device_->config().zrwa_blocks;
+  assert(zrwa_blocks_ > 0 && "ZoneScheduler requires a ZRWA zone");
+  pending_.assign(capacity_, 0);
+  inflight_cnt_.assign(capacity_, 0);
+  durable_.assign(capacity_, false);
+  patterns_.assign(capacity_, 0);
+}
+
+uint64_t ZoneScheduler::Allocate(uint64_t n) {
+  assert(alloc_ptr_ + n <= capacity_);
+  const uint64_t offset = alloc_ptr_;
+  alloc_ptr_ += n;
+  unsubmitted_ += n;
+  return offset;
+}
+
+bool ZoneScheduler::FitsWindow(const Job& job) const {
+  return job.offset >= win_start_ &&
+         job.offset + job.patterns.size() <= win_start_ + zrwa_blocks_;
+}
+
+void ZoneScheduler::SubmitWrite(uint64_t offset,
+                                std::vector<uint64_t> patterns,
+                                std::vector<OobRecord> oobs, WriteCallback cb) {
+  assert(!patterns.empty());
+  assert(offset + patterns.size() <= alloc_ptr_);
+  // A job wider than the ZRWA window could never fit it: split into
+  // window-sized pieces whose completions are joined.
+  if (patterns.size() > zrwa_blocks_) {
+    struct SplitJoin {
+      int pending = 0;
+      Status first_error;
+      WriteCallback cb;
+    };
+    auto join = std::make_shared<SplitJoin>();
+    join->cb = std::move(cb);
+    const uint64_t total = patterns.size();
+    for (uint64_t at = 0; at < total; at += zrwa_blocks_) {
+      const uint64_t take = std::min<uint64_t>(zrwa_blocks_, total - at);
+      std::vector<uint64_t> part(patterns.begin() + static_cast<long>(at),
+                                 patterns.begin() + static_cast<long>(at + take));
+      std::vector<OobRecord> part_oobs;
+      if (!oobs.empty()) {
+        part_oobs.assign(oobs.begin() + static_cast<long>(at),
+                         oobs.begin() + static_cast<long>(at + take));
+      }
+      join->pending++;
+      SubmitWrite(offset + at, std::move(part), std::move(part_oobs),
+                  [join](const Status& status) {
+                    if (!status.ok() && join->first_error.ok()) {
+                      join->first_error = status;
+                    }
+                    if (--join->pending == 0) {
+                      join->cb(join->first_error);
+                    }
+                  });
+    }
+    return;
+  }
+  if (offset < win_start_) {
+    // The window already slid past: the caller should have checked
+    // CanUpdateInPlace() and taken the out-of-place path.
+    cb(WriteFailureError("in-place update behind the sliding window"));
+    return;
+  }
+  for (uint64_t i = 0; i < patterns.size(); ++i) {
+    patterns_[offset + i] = patterns[i];
+  }
+  Job job{offset, std::move(patterns), std::move(oobs), std::move(cb)};
+  for (uint64_t i = 0; i < job.patterns.size(); ++i) {
+    const uint64_t b = job.offset + i;
+    if (!durable_[b] && pending_[b] == 0) {
+      assert(unsubmitted_ > 0);
+      unsubmitted_--;  // this is the block's first write
+    }
+    pending_[b]++;
+  }
+  queue_.push_back(std::move(job));
+  AdvanceWindow();
+  Pump();
+}
+
+bool ZoneScheduler::CanDispatch(const Job& job) const {
+  if (!FitsWindow(job)) {
+    return false;
+  }
+  // Serialize same-block writes: if an older write to any covered block is
+  // still in flight, this one waits, so content applies in submission order
+  // regardless of I/O-stack reordering.
+  for (uint64_t i = 0; i < job.patterns.size(); ++i) {
+    if (inflight_cnt_[job.offset + i] > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ZoneScheduler::Pump() {
+  // Dispatch every queued job that fits the current window. Jobs beyond the
+  // window stay queued in FIFO order; within the window arbitrary dispatch
+  // order is safe (see header).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (CanDispatch(*it)) {
+      Job job = std::move(*it);
+      it = queue_.erase(it);
+      Dispatch(std::move(job));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ZoneScheduler::Dispatch(Job job) {
+  inflight_++;
+  for (uint64_t i = 0; i < job.patterns.size(); ++i) {
+    inflight_cnt_[job.offset + i]++;
+  }
+  const uint64_t offset = job.offset;
+  const uint64_t n = job.patterns.size();
+  auto patterns = std::move(job.patterns);
+  auto oobs = std::move(job.oobs);
+  device_->SubmitWrite(
+      zone_, offset, std::move(patterns), std::move(oobs),
+      [this, offset, n, cb = std::move(job.cb)](const Status& status) {
+        inflight_--;
+        for (uint64_t i = 0; i < n; ++i) {
+          pending_[offset + i]--;
+          inflight_cnt_[offset + i]--;
+          durable_[offset + i] = true;
+        }
+        if (!status.ok()) {
+          BIZA_LOG_ERROR("zone %u write at %llu failed: %s", zone_,
+                         static_cast<unsigned long long>(offset),
+                         status.ToString().c_str());
+        }
+        AdvanceWindow();
+        Pump();
+        cb(status);
+      });
+}
+
+void ZoneScheduler::AdvanceWindow() {
+  // Slide over the completed-contiguous prefix — but only as far as needed
+  // to admit the allocation frontier into the window. Durable blocks are
+  // kept inside the window as long as possible so they stay updatable in
+  // place: this lazy advance IS the ZRWA reservation that absorbs hot
+  // updates (§4.2).
+  while (win_start_ < alloc_ptr_ && durable_[win_start_] &&
+         pending_[win_start_] == 0 &&
+         alloc_ptr_ > win_start_ + zrwa_blocks_) {
+    win_start_++;
+  }
+}
+
+Status ZoneScheduler::Seal() {
+  if (!Idle()) {
+    return FailedPreconditionError("seal on a busy zone");
+  }
+  if (alloc_ptr_ < capacity_) {
+    return FailedPreconditionError("seal on a partially allocated zone");
+  }
+  return device_->FinishZone(zone_);
+}
+
+Status ZoneScheduler::SealPartial() {
+  if (!Idle()) {
+    return FailedPreconditionError("partial seal on a busy zone");
+  }
+  return device_->FinishZone(zone_);
+}
+
+}  // namespace biza

@@ -1,0 +1,125 @@
+// ZRWA-aware I/O scheduler for one open zone (§4.4, Fig. 9).
+//
+// The host cannot see where the device's ZRWA window sits after reorders, so
+// the scheduler tracks it with two structures kept in host DRAM:
+//
+//   bitmap         -- per-block state (queued / in-flight / durable) over the
+//                     zone,
+//   sliding window -- the ZRWA-sized portion of the bitmap starting at the
+//                     completed-contiguous prefix (win_start).
+//
+// Only writes that fall wholly inside the window are submitted; later blocks
+// wait. When the leftmost window block completes, the window slides right
+// and queued writes beyond the old edge become eligible (Fig. 9 steps 1-4).
+//
+// Safety argument (why arbitrary I/O-stack reorder cannot fault a write):
+// the device's ZRWA start only advances when a submitted write ends beyond
+// flush_ptr + zrwa, i.e. device_flush_ptr <= max_submitted_end - zrwa. The
+// scheduler only submits ends <= win_start + zrwa, and win_start never
+// passes a block with an outstanding write (completed-prefix rule, and
+// in-place updates temporarily mark their block incomplete). Hence every
+// in-flight offset >= device_flush_ptr at all times, in any arrival order.
+// A property test (tests/biza/zone_scheduler_test.cc) hammers this with
+// randomized jitter.
+//
+// The scheduler also remembers the pattern of every block it wrote while
+// the zone is open, so the engine can compute parity deltas for in-place
+// updates without touching the device.
+#ifndef BIZA_SRC_BIZA_ZONE_SCHEDULER_H_
+#define BIZA_SRC_BIZA_ZONE_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+#include "src/zns/zns_device.h"
+
+namespace biza {
+
+class ZoneScheduler {
+ public:
+  using WriteCallback = std::function<void(const Status&)>;
+
+  ZoneScheduler(ZnsDevice* device, uint32_t zone);
+
+  uint32_t zone() const { return zone_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t alloc_ptr() const { return alloc_ptr_; }
+  uint64_t win_start() const { return win_start_; }
+  uint64_t free_blocks() const { return capacity_ - alloc_ptr_; }
+
+  // Reserves `n` contiguous blocks for first writes; returns the offset.
+  // Caller must have checked free_blocks() >= n.
+  uint64_t Allocate(uint64_t n);
+
+  // Submits a write of patterns.size() blocks at `offset` (an allocated
+  // range, or an in-place update inside the window). Queues until the range
+  // fits the sliding window.
+  void SubmitWrite(uint64_t offset, std::vector<uint64_t> patterns,
+                   std::vector<OobRecord> oobs, WriteCallback cb);
+
+  // True if `offset` can still be overwritten in place (the window has not
+  // slid past it and it has been written before).
+  bool CanUpdateInPlace(uint64_t offset) const {
+    return offset >= win_start_ && offset < alloc_ptr_;
+  }
+
+  // Pattern last written at `offset` (valid for any offset < alloc_ptr()).
+  uint64_t PatternAt(uint64_t offset) const { return patterns_[offset]; }
+
+  // Idle means no queued jobs, no in-flight jobs, AND no allocated blocks
+  // whose first write has not been submitted yet (callers batch writes
+  // after allocating).
+  bool Idle() const {
+    return inflight_ == 0 && queue_.empty() && unsubmitted_ == 0;
+  }
+  uint64_t inflight() const { return inflight_; }
+
+  // After the zone is fully allocated and idle, commits the remaining ZRWA
+  // contents so the device transitions the zone to FULL.
+  Status Seal();
+
+  // Seals a PARTIALLY allocated idle zone (wasting the unallocated tail):
+  // used by GC to harvest mostly-dead zones that would otherwise trap their
+  // garbage until they filled.
+  Status SealPartial();
+
+ private:
+  struct Job {
+    uint64_t offset;
+    std::vector<uint64_t> patterns;
+    std::vector<OobRecord> oobs;
+    WriteCallback cb;
+  };
+
+  bool FitsWindow(const Job& job) const;
+  bool CanDispatch(const Job& job) const;
+  void Pump();
+  void Dispatch(Job job);
+  void AdvanceWindow();
+
+  ZnsDevice* device_;
+  uint32_t zone_;
+  uint64_t capacity_;
+  uint32_t zrwa_blocks_;
+  uint64_t alloc_ptr_ = 0;
+  uint64_t win_start_ = 0;
+  uint64_t inflight_ = 0;
+  uint64_t unsubmitted_ = 0;  // allocated blocks awaiting their first write
+  // Per-block bookkeeping: `pending_` counts queued + in-flight writes (a
+  // hot block can have several concurrent in-place updates); `durable_`
+  // marks blocks whose first write completed. The window never slides past
+  // a block with pending writes — that is the reorder-safety invariant.
+  std::vector<uint16_t> pending_;
+  std::vector<uint16_t> inflight_cnt_;
+  std::vector<bool> durable_;
+  std::vector<uint64_t> patterns_;
+  std::deque<Job> queue_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_BIZA_ZONE_SCHEDULER_H_

@@ -1,0 +1,110 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace biza {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kBucketGroups) * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  // Group g >= 1 covers [2^(g+5), 2^(g+6)) with 32 buckets of width 2^g.
+  const int group = msb - kSubBucketBits + 1;
+  const int shift = group;  // == msb - kSubBucketBits + 1
+  const int sub = static_cast<int>(value >> shift) - kSubBuckets / 2;  // [0, 32)
+  return kSubBuckets + (group - 1) * (kSubBuckets / 2) + sub;
+}
+
+uint64_t LatencyHistogram::BucketValue(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int rest = index - kSubBuckets;
+  const int group = rest / (kSubBuckets / 2) + 1;
+  const int sub = rest % (kSubBuckets / 2) + kSubBuckets / 2;
+  const int shift = group;
+  // Midpoint of the bucket for lower percentile error.
+  const uint64_t lo = static_cast<uint64_t>(sub) << shift;
+  const uint64_t width = 1ULL << shift;
+  return lo + width / 2;
+}
+
+void LatencyHistogram::Record(uint64_t value_ns) {
+  const int index = BucketIndex(value_ns);
+  if (index >= 0 && static_cast<size_t>(index) < buckets_.size()) {
+    buckets_[static_cast<size_t>(index)]++;
+  } else {
+    buckets_.back()++;
+  }
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min();
+  }
+  if (p >= 100.0) {
+    return max_;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      const uint64_t value = BucketValue(static_cast<int>(i));
+      return std::min(std::max(value, min()), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu avg=%.1fus p50=%.1fus p99=%.1fus p99.99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), Mean() / 1e3,
+                static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3,
+                static_cast<double>(Percentile(99.99)) / 1e3,
+                static_cast<double>(max_) / 1e3);
+  return std::string(buf);
+}
+
+}  // namespace biza

@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Mirrors the HdrHistogram-style layout used by fio: values are bucketed with
+// a fixed number of significant bits so that percentile error is bounded
+// (~1.5% with 6 significant bits) while memory stays constant regardless of
+// the number of samples. All latencies in this repo are recorded here.
+#ifndef BIZA_SRC_COMMON_HISTOGRAM_H_
+#define BIZA_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace biza {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t value_ns);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // p in [0, 100]. Returns the representative value of the bucket containing
+  // the percentile. Percentile(50) is the median.
+  uint64_t Percentile(double p) const;
+
+  // "avg=59us p50=41us p99=...," for logs and bench tables.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per power of two
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketGroups = 64 - kSubBucketBits;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketValue(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_COMMON_HISTOGRAM_H_

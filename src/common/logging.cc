@@ -1,0 +1,12 @@
+#include "src/common/logging.h"
+
+namespace biza {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace biza

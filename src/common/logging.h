@@ -1,0 +1,34 @@
+// Minimal leveled logging. Off by default so benches stay quiet; tests and
+// examples can raise the level. Not thread-safe by design: the simulator is
+// single-threaded (discrete-event), so there is no concurrent logging.
+#ifndef BIZA_SRC_COMMON_LOGGING_H_
+#define BIZA_SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace biza {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Global log threshold; messages above it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace biza
+
+#define BIZA_LOG(level, ...)                                          \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::biza::GetLogLevel())) {                    \
+      std::fprintf(stderr, "[%s] ", #level);                          \
+      std::fprintf(stderr, __VA_ARGS__);                              \
+      std::fprintf(stderr, "\n");                                     \
+    }                                                                 \
+  } while (0)
+
+#define BIZA_LOG_ERROR(...) BIZA_LOG(::biza::LogLevel::kError, __VA_ARGS__)
+#define BIZA_LOG_WARN(...) BIZA_LOG(::biza::LogLevel::kWarn, __VA_ARGS__)
+#define BIZA_LOG_INFO(...) BIZA_LOG(::biza::LogLevel::kInfo, __VA_ARGS__)
+#define BIZA_LOG_DEBUG(...) BIZA_LOG(::biza::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // BIZA_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,149 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component (dispatch jitter, workload generators, wear-
+// leveling deviations) takes an explicit seed so experiments replay bit-
+// identically. The core generator is xoshiro256**, seeded via splitmix64.
+#ifndef BIZA_SRC_COMMON_RNG_H_
+#define BIZA_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace biza {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform in [0, 2^64).
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // bias is negligible for simulation bounds << 2^64.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-12;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+// Zipf-distributed integers over [0, n). theta in (0, 1) skews mildly;
+// theta -> 1 skews strongly (theta == 1 is disallowed by the formula and is
+// clamped). Uses the standard Knuth/Gray rejection-free inversion with a
+// precomputed zeta; construction is O(n) and sampling O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zeta2_ = Zeta(2, theta_);
+    zetan_ = Zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double v =
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t value = static_cast<uint64_t>(v);
+    if (value >= n_) {
+      value = n_ - 1;
+    }
+    return value;
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; for large n use the integral approximation to keep
+    // construction fast (adequate for workload skew modelling).
+    constexpr uint64_t kExactLimit = 1 << 20;
+    double sum = 0.0;
+    const uint64_t exact = n < kExactLimit ? n : kExactLimit;
+    for (uint64_t i = 1; i <= exact; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (n > exact) {
+      // integral of x^-theta from exact to n.
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zeta2_ = 0.0;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_COMMON_RNG_H_

@@ -1,0 +1,49 @@
+// Size and time units used throughout the simulator.
+//
+// All simulated time is in nanoseconds (uint64), all sizes in bytes unless a
+// name says otherwise ("blocks" = 4 KiB logical blocks by default).
+#ifndef BIZA_SRC_COMMON_UNITS_H_
+#define BIZA_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace biza {
+
+using SimTime = uint64_t;  // nanoseconds of virtual time
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// The default logical block size of every device and engine in this repo.
+// Matches the paper's 4 KB chunk size (§4.1).
+inline constexpr uint64_t kBlockSize = 4 * kKiB;
+
+// Converts a bandwidth in MB/s (decimal, as vendors quote) to a per-byte
+// service time in nanoseconds (floating point to keep precision; callers
+// multiply by a size and round).
+constexpr double NsPerByte(double mb_per_s) {
+  return 1e9 / (mb_per_s * 1e6);
+}
+
+// Service time in ns for `bytes` at `mb_per_s`.
+constexpr SimTime TransferNs(uint64_t bytes, double mb_per_s) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * NsPerByte(mb_per_s));
+}
+
+// Throughput in MB/s (decimal) given bytes moved over a duration.
+constexpr double ThroughputMBps(uint64_t bytes, SimTime duration_ns) {
+  if (duration_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / (static_cast<double>(duration_ns) / 1e9) / 1e6;
+}
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_COMMON_UNITS_H_

@@ -1,0 +1,25 @@
+// Classification tags attached to device writes so that devices can account
+// flash programs per category (data / parity / GC / metadata). This powers
+// the write-amplification breakdown of Fig. 14 without the engines having to
+// second-guess when a ZRWA-buffered block is eventually flushed.
+#ifndef BIZA_SRC_COMMON_WRITE_TAG_H_
+#define BIZA_SRC_COMMON_WRITE_TAG_H_
+
+#include <cstdint>
+
+namespace biza {
+
+enum class WriteTag : uint8_t {
+  kData = 0,     // user data
+  kParity = 1,   // stripe parity (incl. partial parity)
+  kGcData = 2,   // data migrated by host-side GC
+  kGcParity = 3, // parity rewritten by host-side GC
+  kMeta = 4,     // engine metadata (superblocks, journal headers, ...)
+  kNumTags = 5,
+};
+
+inline constexpr int kNumWriteTags = static_cast<int>(WriteTag::kNumTags);
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_COMMON_WRITE_TAG_H_

@@ -1,0 +1,136 @@
+// Simulated conventional block-interface SSD (models the WD SN640).
+//
+// A page-mapped FTL over the same NAND backend as the ZNS device:
+// * L2P table (4 KiB pages), out-of-place updates, per-flash-block valid
+//   counts.
+// * Over-provisioned physical space; greedy garbage collection (victim =
+//   fewest valid pages) triggered when free blocks run low. GC migrations
+//   and erases occupy channel/die resources inline, so host I/O issued
+//   during GC queues behind it — the uncontrollable latency spikes that
+//   block-interface AFAs suffer (§2.1).
+// * Internal write-amplification accounting (host vs flash writes).
+//
+// The device is intentionally "dumb": no stream separation and no hints, as
+// with a real conventional SSD. The mdraid+ConvSSD baseline builds on it.
+#ifndef BIZA_SRC_CONVSSD_CONV_SSD_H_
+#define BIZA_SRC_CONVSSD_CONV_SSD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/common/write_tag.h"
+#include "src/nand/nand_backend.h"
+#include "src/sim/simulator.h"
+
+namespace biza {
+
+struct ConvSsdConfig {
+  std::string model = "SIM-SN640";
+  uint64_t capacity_blocks = 512 * 1024;  // 2 GiB user-visible
+  double over_provision = 0.10;
+  uint64_t pages_per_flash_block = 1024;  // 4 MiB erase unit
+  double gc_trigger_free_ratio = 0.06;    // start GC below this free share
+  double gc_stop_free_ratio = 0.10;       // collect until this free share
+  NandTimingConfig timing = ConvTiming();
+  SimTime dispatch_base_ns = 2 * kMicrosecond;
+  SimTime dispatch_jitter_ns = 8 * kMicrosecond;
+  uint64_t seed = 1;
+
+  static NandTimingConfig ConvTiming() {
+    NandTimingConfig t;
+    // SN640: 2250 MB/s write, 3331 MB/s read (Table 5), same flash basis.
+    t.ctrl_write_mbps = 2250.0;
+    t.ctrl_read_mbps = 3331.0;
+    return t;
+  }
+};
+
+struct ConvSsdStats {
+  uint64_t host_written_blocks = 0;
+  uint64_t flash_programmed_blocks = 0;  // host + GC migrations
+  uint64_t flash_by_tag[kNumWriteTags] = {};
+  uint64_t gc_migrated_blocks = 0;
+  uint64_t host_read_blocks = 0;
+  uint64_t erases = 0;
+  uint64_t gc_runs = 0;
+
+  double WriteAmplification() const {
+    if (host_written_blocks == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(flash_programmed_blocks) /
+           static_cast<double>(host_written_blocks);
+  }
+};
+
+class ConvSsd {
+ public:
+  using WriteCallback = std::function<void(const Status&)>;
+  using ReadCallback =
+      std::function<void(const Status&, std::vector<uint64_t> patterns)>;
+
+  ConvSsd(Simulator* sim, const ConvSsdConfig& config);
+
+  // Writes patterns.size() blocks starting at `lbn` (async). `tag`
+  // classifies the write for WA-breakdown accounting.
+  void SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
+                   WriteCallback cb, WriteTag tag = WriteTag::kData);
+  void SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb);
+
+  Result<uint64_t> ReadPatternSync(uint64_t lbn) const;
+
+  const ConvSsdConfig& config() const { return config_; }
+  const ConvSsdStats& stats() const { return stats_; }
+  NandBackend& backend() { return *backend_; }
+
+ private:
+  static constexpr uint64_t kUnmapped = ~0ULL;
+
+  struct FlashBlock {
+    int channel = 0;
+    uint64_t next_page = 0;       // allocation cursor within the block
+    uint64_t valid_pages = 0;
+    bool free = true;
+  };
+
+  void DoWrite(uint64_t lbn, std::vector<uint64_t> patterns, WriteCallback cb,
+               WriteTag tag);
+  void DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb);
+
+  // Allocates one physical page on `channel`'s active block (FTLs stripe
+  // user writes across channels), running GC first if space is low.
+  uint64_t AllocatePage(int channel);
+  uint64_t GrabFreeBlock(int channel_pref);
+  void MaybeRunGc();
+  // Returns false when no victim exists.
+  bool CollectOne();
+  uint64_t FreeBlocks() const { return free_blocks_; }
+
+  SimTime DispatchDelay();
+
+  Simulator* sim_;
+  ConvSsdConfig config_;
+  std::unique_ptr<NandBackend> backend_;
+  Rng rng_;
+
+  uint64_t total_pages_ = 0;
+  uint64_t num_flash_blocks_ = 0;
+  std::vector<uint64_t> l2p_;        // lbn -> ppn
+  std::vector<uint64_t> p2l_;        // ppn -> lbn (kUnmapped if invalid)
+  std::vector<uint64_t> page_pattern_;
+  std::vector<FlashBlock> flash_blocks_;
+  std::vector<uint64_t> active_blocks_;   // one open block per channel
+  size_t write_rr_ = 0;                   // channel rotation for user writes
+  uint64_t gc_active_block_ = kUnmapped;  // separate cursor for GC writes
+  uint64_t free_blocks_ = 0;
+  ConvSsdStats stats_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_CONVSSD_CONV_SSD_H_

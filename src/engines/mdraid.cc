@@ -1,0 +1,483 @@
+#include "src/engines/mdraid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/raid/reed_solomon.h"
+
+namespace biza {
+
+Mdraid::Mdraid(Simulator* sim, std::vector<BlockTarget*> children,
+               const MdraidConfig& config)
+    : sim_(sim),
+      children_(std::move(children)),
+      config_(config),
+      lock_(/*mb_per_s=*/0.0, config.lock_ns_per_page) {
+  n_ = static_cast<int>(children_.size());
+  assert(n_ >= 3);
+  k_ = n_ - 1;
+  geometry_.num_drives = n_;
+  geometry_.num_parity = 1;
+  geometry_.chunk_blocks = 1;
+  uint64_t child_cap = children_[0]->capacity_blocks();
+  for (const auto* child : children_) {
+    child_cap = std::min(child_cap, child->capacity_blocks());
+  }
+  stripes_total_ = child_cap;
+  capacity_blocks_ = stripes_total_ * static_cast<uint64_t>(k_);
+  child_failed_.assign(static_cast<size_t>(n_), false);
+}
+
+void Mdraid::SetChildFailed(int child, bool failed) {
+  child_failed_[static_cast<size_t>(child)] = failed;
+}
+
+Mdraid::StripeEntry& Mdraid::GetOrCreateEntry(uint64_t stripe) {
+  auto it = cache_.find(stripe);
+  if (it == cache_.end()) {
+    StripeEntry entry;
+    entry.patterns.assign(static_cast<size_t>(k_), 0);
+    entry.dirty.assign(static_cast<size_t>(k_), false);
+    lru_.push_front(stripe);
+    entry.lru_it = lru_.begin();
+    it = cache_.emplace(stripe, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void Mdraid::TouchLru(uint64_t stripe) {
+  auto it = cache_.find(stripe);
+  if (it == cache_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(stripe);
+  it->second.lru_it = lru_.begin();
+}
+
+void Mdraid::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
+                         WriteCallback cb, WriteTag tag) {
+  (void)tag;
+  const uint64_t n = patterns.size();
+  if (n == 0 || lbn + n > capacity_blocks_) {
+    cb(OutOfRangeError("mdraid write beyond capacity"));
+    return;
+  }
+  stats_.user_written_blocks += n;
+
+  // mdraid splits requests into 4 KiB pages; each page passes through the
+  // array lock and lands in the stripe cache (write-back).
+  SimTime lock_done = sim_->Now();
+  for (uint64_t i = 0; i < n; ++i) {
+    cpu_.Charge("mdraid", config_.costs.stripe_cache_op_ns);
+    lock_done = lock_.OccupyFor(sim_->Now(), config_.lock_ns_per_page);
+    const uint64_t target = lbn + i;
+    const uint64_t stripe = StripeOf(target);
+    StripeEntry& entry = GetOrCreateEntry(stripe);
+    const int slot = SlotOf(target);
+    if (!entry.dirty[static_cast<size_t>(slot)]) {
+      entry.dirty[static_cast<size_t>(slot)] = true;
+      entry.dirty_count++;
+      dirty_blocks_++;
+    }
+    entry.patterns[static_cast<size_t>(slot)] = patterns[i];
+    TouchLru(stripe);
+  }
+  cpu_.Charge("mdraid", config_.costs.request_overhead_ns);
+
+  // Backpressure: above the high watermark kick a flush; if the cache is
+  // entirely full, stall the completion until a flush frees space.
+  const bool overfull = dirty_blocks_ > config_.stripe_cache_blocks;
+  if (dirty_blocks_ > static_cast<uint64_t>(
+          static_cast<double>(config_.stripe_cache_blocks) *
+          config_.flush_high_watermark)) {
+    if (!flush_in_progress_) {
+      flush_in_progress_ = true;
+      FlushLruBatch([this]() {
+        flush_in_progress_ = false;
+        MaybeReleaseStalled();
+      });
+    }
+  }
+  MaybeScheduleTimer();
+
+  auto complete = [this, cb = std::move(cb), lock_done]() {
+    sim_->ScheduleAt(std::max(lock_done, sim_->Now()),
+                     [cb]() { cb(OkStatus()); });
+  };
+  if (overfull) {
+    stalled_.push_back(std::move(complete));
+  } else {
+    complete();
+  }
+}
+
+void Mdraid::MaybeReleaseStalled() {
+  if (dirty_blocks_ <= config_.stripe_cache_blocks && !stalled_.empty()) {
+    std::vector<std::function<void()>> ready;
+    ready.swap(stalled_);
+    for (auto& fn : ready) {
+      fn();
+    }
+  }
+  // Keep draining while above the watermark.
+  if (dirty_blocks_ > static_cast<uint64_t>(
+          static_cast<double>(config_.stripe_cache_blocks) *
+          config_.flush_high_watermark) &&
+      !flush_in_progress_) {
+    flush_in_progress_ = true;
+    FlushLruBatch([this]() {
+      flush_in_progress_ = false;
+      MaybeReleaseStalled();
+    });
+  }
+}
+
+void Mdraid::MaybeScheduleTimer() {
+  if (timer_scheduled_ || dirty_blocks_ == 0) {
+    return;
+  }
+  timer_scheduled_ = true;
+  sim_->Schedule(config_.flush_interval_ns, [this]() { OnTimer(); });
+}
+
+void Mdraid::OnTimer() {
+  timer_scheduled_ = false;
+  if (dirty_blocks_ == 0) {
+    return;
+  }
+  if (!flush_in_progress_) {
+    // Compensation flush: persist everything dirty AS OF NOW (a snapshot,
+    // so sustained new writes cannot make the flush chase a moving target).
+    // The stripe cache is volatile host DRAM, so mdraid periodically writes
+    // it back — the fault-tolerance trade-off §5.4 calls out. This is what
+    // turns absorbed overwrites into flash traffic for mdraid-based stacks.
+    flush_in_progress_ = true;
+    auto snapshot = std::make_shared<std::vector<uint64_t>>();
+    snapshot->reserve(cache_.size());
+    for (const auto& [stripe, entry] : cache_) {
+      snapshot->push_back(stripe);
+    }
+    std::sort(snapshot->begin(), snapshot->end());
+    auto step = std::make_shared<std::function<void(size_t)>>();
+    *step = [this, snapshot, step](size_t index) {
+      if (index >= snapshot->size()) {
+        flush_in_progress_ = false;
+        MaybeReleaseStalled();
+        MaybeScheduleTimer();
+        return;
+      }
+      const size_t end =
+          std::min(index + config_.flush_run_stripes, snapshot->size());
+      std::vector<uint64_t> run(snapshot->begin() + static_cast<long>(index),
+                                snapshot->begin() + static_cast<long>(end));
+      FlushStripeRun(std::move(run), [step, end]() { (*step)(end); });
+    };
+    (*step)(0);
+  } else {
+    MaybeScheduleTimer();
+  }
+}
+
+void Mdraid::FlushLruBatch(std::function<void()> done) {
+  if (lru_.empty()) {
+    done();
+    return;
+  }
+  // Pick the LRU stripe and grow a contiguous dirty run around it so the
+  // block layer can merge per-child writes (when enabled).
+  const uint64_t seed = lru_.back();
+  uint64_t first = seed;
+  while (first > 0 && cache_.count(first - 1) > 0 &&
+         (seed - (first - 1)) < config_.flush_run_stripes) {
+    first--;
+  }
+  std::vector<uint64_t> run;
+  uint64_t s = first;
+  while (run.size() < config_.flush_run_stripes && cache_.count(s) > 0) {
+    run.push_back(s);
+    s++;
+  }
+  FlushStripeRun(std::move(run), std::move(done));
+}
+
+void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
+                            std::function<void()> done) {
+  struct FlushState {
+    int pending = 1;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<FlushState>();
+  state->done = std::move(done);
+  auto release = [state]() {
+    if (--state->pending == 0) {
+      state->done();
+    }
+  };
+
+  // Stage 1: collect the stripe work and detach it from the cache, then
+  // issue reconstruct-reads for partially-dirty stripes. The work list and
+  // the join continuation must be fully built BEFORE any read is issued —
+  // children may complete reads synchronously.
+  struct StripeWork {
+    uint64_t stripe;
+    std::vector<uint64_t> patterns;  // full k slots after reads
+    std::vector<bool> dirty;
+  };
+  auto works = std::make_shared<std::vector<StripeWork>>();
+  struct ReadJoin {
+    int pending = 1;
+    std::function<void()> then;
+  };
+  auto read_join = std::make_shared<ReadJoin>();
+
+  struct NeededRead {
+    size_t work_index;
+    int slot;
+    int child;
+    uint64_t stripe;
+  };
+  std::vector<NeededRead> reads;
+
+  for (uint64_t stripe : stripes) {
+    auto it = cache_.find(stripe);
+    if (it == cache_.end()) {
+      continue;
+    }
+    StripeEntry& entry = it->second;
+    StripeWork work;
+    work.stripe = stripe;
+    work.patterns = entry.patterns;
+    work.dirty = entry.dirty;
+    if (entry.dirty_count < static_cast<uint64_t>(k_)) {
+      stats_.partial_stripe_flushes++;
+      for (int slot = 0; slot < k_; ++slot) {
+        if (entry.dirty[static_cast<size_t>(slot)]) {
+          continue;
+        }
+        const int child = geometry_.DataDrive(stripe, slot);
+        if (child_failed_[static_cast<size_t>(child)]) {
+          continue;  // degraded: treat as zero; parity covers it
+        }
+        reads.push_back(NeededRead{works->size(), slot, child, stripe});
+      }
+    } else {
+      stats_.full_stripe_flushes++;
+    }
+    works->push_back(std::move(work));
+
+    // Remove from cache now: new writes to the stripe re-enter cleanly.
+    dirty_blocks_ -= entry.dirty_count;
+    lru_.erase(entry.lru_it);
+    cache_.erase(it);
+  }
+
+  // Stage 2 (after reads): compute parity, write dirty data + parity with
+  // per-child merging of contiguous stripes.
+  read_join->then = [this, works, release]() {
+    // child -> list of (child_offset, pattern, tag)
+    struct ChildWrite {
+      uint64_t offset;
+      uint64_t pattern;
+      WriteTag tag;
+    };
+    std::vector<std::vector<ChildWrite>> per_child(static_cast<size_t>(n_));
+    for (const StripeWork& work : *works) {
+      cpu_.Charge("mdraid",
+                  config_.costs.parity_xor_ns_per_kib * (kBlockSize / kKiB) *
+                      static_cast<SimTime>(k_));
+      const uint64_t parity = XorParity(work.patterns);
+      for (int slot = 0; slot < k_; ++slot) {
+        if (!work.dirty[static_cast<size_t>(slot)]) {
+          continue;
+        }
+        const int child = geometry_.DataDrive(work.stripe, slot);
+        stats_.flushed_data_blocks++;
+        if (child_failed_[static_cast<size_t>(child)]) {
+          continue;
+        }
+        per_child[static_cast<size_t>(child)].push_back(
+            ChildWrite{work.stripe, work.patterns[static_cast<size_t>(slot)],
+                       WriteTag::kData});
+      }
+      const int pchild = geometry_.ParityDrive(work.stripe);
+      stats_.flushed_parity_blocks++;
+      if (!child_failed_[static_cast<size_t>(pchild)]) {
+        per_child[static_cast<size_t>(pchild)].push_back(
+            ChildWrite{work.stripe, parity, WriteTag::kParity});
+      }
+    }
+
+    struct WriteJoin {
+      int pending = 1;
+      std::function<void()> release;
+    };
+    auto write_join = std::make_shared<WriteJoin>();
+    write_join->release = release;
+    auto wrelease = [write_join]() {
+      if (--write_join->pending == 0) {
+        write_join->release();
+      }
+    };
+
+    for (int child = 0; child < n_; ++child) {
+      auto& writes = per_child[static_cast<size_t>(child)];
+      if (writes.empty()) {
+        continue;
+      }
+      std::sort(writes.begin(), writes.end(),
+                [](const ChildWrite& a, const ChildWrite& b) {
+                  return a.offset < b.offset;
+                });
+      size_t i = 0;
+      while (i < writes.size()) {
+        size_t j = i + 1;
+        if (config_.block_layer_merge) {
+          while (j < writes.size() &&
+                 writes[j].offset == writes[j - 1].offset + 1 &&
+                 writes[j].tag == writes[i].tag) {
+            j++;
+          }
+        }
+        std::vector<uint64_t> patterns;
+        patterns.reserve(j - i);
+        for (size_t w = i; w < j; ++w) {
+          patterns.push_back(writes[w].pattern);
+        }
+        write_join->pending++;
+        children_[static_cast<size_t>(child)]->SubmitWrite(
+            writes[i].offset, std::move(patterns),
+            [wrelease](const Status& status) {
+              if (!status.ok()) {
+                BIZA_LOG_ERROR("mdraid child write failed: %s",
+                               status.ToString().c_str());
+              }
+              wrelease();
+            },
+            writes[i].tag);
+        i = j;
+      }
+    }
+    wrelease();
+  };
+
+  // Now that `works` and `then` are in place, fire the reconstruct-reads.
+  for (const NeededRead& need : reads) {
+    read_join->pending++;
+    stats_.rmw_read_blocks++;
+    children_[static_cast<size_t>(need.child)]->SubmitRead(
+        need.stripe, 1,
+        [works, need, read_join](const Status& status,
+                                 std::vector<uint64_t> patterns) {
+          if (status.ok() && !patterns.empty()) {
+            (*works)[need.work_index].patterns[static_cast<size_t>(need.slot)] =
+                patterns[0];
+          }
+          if (--read_join->pending == 0) {
+            read_join->then();
+          }
+        });
+  }
+  if (--read_join->pending == 0) {
+    read_join->then();
+  }
+}
+
+void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
+  if (nblocks == 0 || lbn + nblocks > capacity_blocks_) {
+    cb(OutOfRangeError("mdraid read beyond capacity"), {});
+    return;
+  }
+  cpu_.Charge("mdraid", config_.costs.request_overhead_ns);
+  stats_.user_read_blocks += nblocks;
+
+  struct ReadState {
+    std::vector<uint64_t> out;
+    int pending = 1;
+    ReadCallback cb;
+  };
+  auto state = std::make_shared<ReadState>();
+  state->out.assign(nblocks, 0);
+  state->cb = std::move(cb);
+  auto release = [state]() {
+    if (--state->pending == 0) {
+      state->cb(OkStatus(), std::move(state->out));
+    }
+  };
+
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const uint64_t target = lbn + i;
+    const uint64_t stripe = StripeOf(target);
+    const int slot = SlotOf(target);
+    auto it = cache_.find(stripe);
+    if (it != cache_.end() && it->second.dirty[static_cast<size_t>(slot)]) {
+      state->out[i] = it->second.patterns[static_cast<size_t>(slot)];
+      continue;
+    }
+    const int child = geometry_.DataDrive(stripe, slot);
+    if (!child_failed_[static_cast<size_t>(child)]) {
+      state->pending++;
+      const uint64_t out_at = i;
+      children_[static_cast<size_t>(child)]->SubmitRead(
+          stripe, 1,
+          [state, out_at, release](const Status& status,
+                                   std::vector<uint64_t> patterns) {
+            if (status.ok() && !patterns.empty()) {
+              state->out[out_at] = patterns[0];
+            }
+            release();
+          });
+      continue;
+    }
+    // Degraded read: reconstruct from the survivors (k-1 data + parity).
+    cpu_.Charge("mdraid",
+                config_.costs.parity_xor_ns_per_kib * (kBlockSize / kKiB) *
+                    static_cast<SimTime>(k_));
+    struct Recon {
+      uint64_t acc = 0;
+      int pending = 0;
+    };
+    auto recon = std::make_shared<Recon>();
+    const uint64_t out_at = i;
+    auto finish_recon = [state, out_at, recon, release]() {
+      state->out[out_at] = recon->acc;
+      release();
+    };
+    state->pending++;
+    for (int other = 0; other < n_; ++other) {
+      if (other == child || child_failed_[static_cast<size_t>(other)]) {
+        continue;
+      }
+      recon->pending++;
+    }
+    for (int other = 0; other < n_; ++other) {
+      if (other == child || child_failed_[static_cast<size_t>(other)]) {
+        continue;
+      }
+      children_[static_cast<size_t>(other)]->SubmitRead(
+          stripe, 1,
+          [recon, finish_recon](const Status& status,
+                                std::vector<uint64_t> patterns) {
+            if (status.ok() && !patterns.empty()) {
+              recon->acc ^= patterns[0];
+            }
+            if (--recon->pending == 0) {
+              finish_recon();
+            }
+          });
+    }
+  }
+  release();
+}
+
+void Mdraid::FlushBuffers(std::function<void()> done) {
+  if (dirty_blocks_ == 0) {
+    done();
+    return;
+  }
+  FlushLruBatch([this, done = std::move(done)]() { FlushBuffers(done); });
+}
+
+}  // namespace biza

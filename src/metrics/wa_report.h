@@ -1,0 +1,46 @@
+// Write-amplification breakdown assembled from device per-tag counters
+// (Fig. 14: lighter segment = parity writes, darker = data writes, both
+// normalised to the number of user-written blocks).
+#ifndef BIZA_SRC_METRICS_WA_REPORT_H_
+#define BIZA_SRC_METRICS_WA_REPORT_H_
+
+#include <cstdint>
+
+#include "src/common/write_tag.h"
+
+namespace biza {
+
+struct WaBreakdown {
+  uint64_t user_blocks = 0;       // blocks written by the workload
+  uint64_t flash_data = 0;        // data blocks programmed (incl. GC moves)
+  uint64_t flash_parity = 0;      // parity blocks programmed
+  uint64_t flash_meta = 0;
+
+  uint64_t flash_total() const { return flash_data + flash_parity + flash_meta; }
+
+  double DataRatio() const {
+    return user_blocks == 0
+               ? 0.0
+               : static_cast<double>(flash_data) / static_cast<double>(user_blocks);
+  }
+  double ParityRatio() const {
+    return user_blocks == 0
+               ? 0.0
+               : static_cast<double>(flash_parity) /
+                     static_cast<double>(user_blocks);
+  }
+  double TotalRatio() const { return DataRatio() + ParityRatio(); }
+
+  // Folds a device's per-tag counters in.
+  void AddDeviceTags(const uint64_t flash_by_tag[kNumWriteTags]) {
+    flash_data += flash_by_tag[static_cast<int>(WriteTag::kData)] +
+                  flash_by_tag[static_cast<int>(WriteTag::kGcData)];
+    flash_parity += flash_by_tag[static_cast<int>(WriteTag::kParity)] +
+                    flash_by_tag[static_cast<int>(WriteTag::kGcParity)];
+    flash_meta += flash_by_tag[static_cast<int>(WriteTag::kMeta)];
+  }
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_METRICS_WA_REPORT_H_

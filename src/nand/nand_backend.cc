@@ -1,0 +1,119 @@
+#include "src/nand/nand_backend.h"
+
+#include <cassert>
+
+namespace biza {
+
+namespace {
+
+SimTime ServiceNs(uint64_t bytes, double mbps, SimTime fixed_ns) {
+  return fixed_ns + TransferNs(bytes, mbps);
+}
+
+}  // namespace
+
+NandBackend::NandBackend(Simulator* sim, const NandTimingConfig& config)
+    : sim_(sim), config_(config) {
+  assert(config_.num_channels > 0 && config_.dies_per_channel > 0);
+  channels_.resize(static_cast<size_t>(config_.num_channels));
+  dies_.resize(static_cast<size_t>(config_.num_channels));
+  die_rr_.resize(static_cast<size_t>(config_.num_channels), 0);
+  channel_stats_.resize(static_cast<size_t>(config_.num_channels));
+  for (auto& channel_dies : dies_) {
+    channel_dies.resize(static_cast<size_t>(config_.dies_per_channel));
+  }
+}
+
+FifoResource& NandBackend::NextDie(int channel) {
+  auto& channel_dies = dies_[static_cast<size_t>(channel)];
+  const size_t index = die_rr_[static_cast<size_t>(channel)]++ % channel_dies.size();
+  return channel_dies[index];
+}
+
+SimTime NandBackend::Write(int channel, uint64_t bytes) {
+  assert(channel >= 0 && channel < config_.num_channels);
+  const SimTime now = sim_->Now();
+  const SimTime ctrl_done = ctrl_write_.OccupyFor(
+      now, ServiceNs(bytes, config_.ctrl_write_mbps, config_.ctrl_fixed_ns));
+
+  FifoResource& die = NextDie(channel);
+  // Buffer-credit backpressure: the channel transfer waits for the target
+  // die to drain its previous program.
+  const SimTime gate = ctrl_done > die.free_at() ? ctrl_done : die.free_at();
+  FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const SimTime xfer_ns =
+      ServiceNs(bytes, config_.chan_write_mbps, config_.chan_fixed_ns);
+  const SimTime chan_done = bus.OccupyFor(gate, xfer_ns);
+
+  const SimTime prog_ns =
+      ServiceNs(bytes, config_.die_program_mbps, config_.die_program_fixed_ns);
+  die.OccupyFor(chan_done, prog_ns);
+
+  auto& stats = channel_stats_[static_cast<size_t>(channel)];
+  stats.bus_busy_ns += xfer_ns;
+  stats.bytes_written += bytes;
+  return chan_done + config_.write_ack_ns;
+}
+
+SimTime NandBackend::BackgroundProgram(int channel, uint64_t bytes) {
+  assert(channel >= 0 && channel < config_.num_channels);
+  const SimTime now = sim_->Now();
+  FifoResource& die = NextDie(channel);
+  const SimTime gate = now > die.free_at() ? now : die.free_at();
+  FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const SimTime xfer_ns =
+      ServiceNs(bytes, config_.chan_write_mbps, config_.chan_fixed_ns);
+  const SimTime chan_done = bus.OccupyFor(gate, xfer_ns);
+  const SimTime prog_ns =
+      ServiceNs(bytes, config_.die_program_mbps, config_.die_program_fixed_ns);
+  const SimTime done = die.OccupyFor(chan_done, prog_ns);
+  auto& stats = channel_stats_[static_cast<size_t>(channel)];
+  stats.bus_busy_ns += xfer_ns;
+  stats.bytes_written += bytes;
+  return done;
+}
+
+SimTime NandBackend::Read(int channel, uint64_t bytes) {
+  assert(channel >= 0 && channel < config_.num_channels);
+  const SimTime now = sim_->Now();
+  FifoResource& die = NextDie(channel);
+  const SimTime sense_done = die.OccupyFor(
+      now, ServiceNs(bytes, config_.die_read_mbps, config_.die_read_fixed_ns));
+  FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const SimTime xfer_ns =
+      ServiceNs(bytes, config_.chan_read_mbps, config_.chan_fixed_ns);
+  const SimTime chan_done = bus.OccupyFor(sense_done, xfer_ns);
+  const SimTime ctrl_done = ctrl_read_.OccupyFor(
+      chan_done, ServiceNs(bytes, config_.ctrl_read_mbps, config_.ctrl_fixed_ns));
+  auto& stats = channel_stats_[static_cast<size_t>(channel)];
+  stats.bus_busy_ns += xfer_ns;
+  stats.bytes_read += bytes;
+  return ctrl_done + config_.read_done_ns;
+}
+
+SimTime NandBackend::BufferWrite(uint64_t bytes) {
+  const SimTime ctrl_done = ctrl_write_.OccupyFor(
+      sim_->Now(),
+      ServiceNs(bytes, config_.ctrl_write_mbps, config_.ctrl_fixed_ns));
+  return ctrl_done + config_.buffer_ack_ns;
+}
+
+SimTime NandBackend::BufferRead(uint64_t bytes) {
+  const SimTime ctrl_done = ctrl_read_.OccupyFor(
+      sim_->Now(),
+      ServiceNs(bytes, config_.ctrl_read_mbps, config_.ctrl_fixed_ns));
+  return ctrl_done + config_.read_done_ns;
+}
+
+SimTime NandBackend::Erase(int channel) {
+  assert(channel >= 0 && channel < config_.num_channels);
+  const SimTime now = sim_->Now();
+  SimTime done = now;
+  for (auto& die : dies_[static_cast<size_t>(channel)]) {
+    const SimTime die_done = die.OccupyFor(now, config_.die_erase_ns);
+    done = die_done > done ? die_done : done;
+  }
+  return done;
+}
+
+}  // namespace biza

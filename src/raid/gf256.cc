@@ -1,0 +1,59 @@
+#include "src/raid/gf256.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace biza {
+
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 512> exp{};
+  std::array<int, 256> log{};
+};
+
+Tables BuildTables() {
+  Tables t;
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+    t.log[static_cast<size_t>(x)] = i;
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= 0x11D;
+    }
+  }
+  // Duplicate so Mul can index exp_[log a + log b] without a mod.
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<size_t>(i)] = t.exp[static_cast<size_t>(i - 255)];
+  }
+  t.log[0] = 0;  // log(0) is undefined; Mul guards against it
+  return t;
+}
+
+const Tables g_tables = BuildTables();
+
+}  // namespace
+
+const std::array<uint8_t, 512> Gf256::exp_ = g_tables.exp;
+const std::array<int, 256> Gf256::log_ = g_tables.log;
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  assert(b != 0 && "division by zero in GF(256)");
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[static_cast<size_t>(log_[a] - log_[b] + 255)];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  assert(a != 0 && "inverse of zero in GF(256)");
+  return exp_[static_cast<size_t>(255 - log_[a])];
+}
+
+uint8_t Gf256::Log(uint8_t a) {
+  assert(a != 0);
+  return static_cast<uint8_t>(log_[a]);
+}
+
+}  // namespace biza

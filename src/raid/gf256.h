@@ -1,0 +1,43 @@
+// GF(2^8) arithmetic over the AES/Rijndael-compatible polynomial 0x11D,
+// table-driven. Foundation for the Reed-Solomon codec used by RAID 6 and
+// general m-fault-tolerant stripes (§2: "Reed-Solomon code for other general
+// scenarios").
+#ifndef BIZA_SRC_RAID_GF256_H_
+#define BIZA_SRC_RAID_GF256_H_
+
+#include <array>
+#include <cstdint>
+
+namespace biza {
+
+class Gf256 {
+ public:
+  static uint8_t Mul(uint8_t a, uint8_t b) {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    return exp_[log_[a] + log_[b]];
+  }
+
+  static uint8_t Div(uint8_t a, uint8_t b);
+  static uint8_t Inv(uint8_t a);
+
+  // g^power for the generator g = 2.
+  static uint8_t Exp(int power) {
+    power %= 255;
+    if (power < 0) {
+      power += 255;
+    }
+    return exp_[power];
+  }
+
+  static uint8_t Log(uint8_t a);
+
+ private:
+  static const std::array<uint8_t, 512> exp_;
+  static const std::array<int, 256> log_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_RAID_GF256_H_

@@ -1,0 +1,280 @@
+#include "src/raid/reed_solomon.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/raid/gf256.h"
+
+namespace biza {
+
+namespace {
+
+using Matrix = std::vector<std::vector<uint8_t>>;
+
+Matrix Vandermonde(int rows, int cols) {
+  Matrix m(static_cast<size_t>(rows), std::vector<uint8_t>(static_cast<size_t>(cols)));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // element = r^c in GF(256) (with 0^0 == 1).
+      uint8_t value = 1;
+      for (int i = 0; i < c; ++i) {
+        value = Gf256::Mul(value, static_cast<uint8_t>(r));
+      }
+      m[static_cast<size_t>(r)][static_cast<size_t>(c)] = value;
+    }
+  }
+  return m;
+}
+
+// Gauss-Jordan inversion-free systematisation: reduce the top k rows of the
+// (k+m) x k Vandermonde matrix to identity with column operations applied to
+// the whole matrix; the bottom m rows become the coding matrix.
+Matrix SystematicCoding(int k, int m) {
+  Matrix v = Vandermonde(k + m, k);
+  // Column-reduce so the top k x k block becomes identity.
+  for (int col = 0; col < k; ++col) {
+    // Find a column >= col with a nonzero pivot in row `col` and swap.
+    if (v[static_cast<size_t>(col)][static_cast<size_t>(col)] == 0) {
+      for (int c2 = col + 1; c2 < k; ++c2) {
+        if (v[static_cast<size_t>(col)][static_cast<size_t>(c2)] != 0) {
+          for (int r = 0; r < k + m; ++r) {
+            std::swap(v[static_cast<size_t>(r)][static_cast<size_t>(col)],
+                      v[static_cast<size_t>(r)][static_cast<size_t>(c2)]);
+          }
+          break;
+        }
+      }
+    }
+    const uint8_t pivot = v[static_cast<size_t>(col)][static_cast<size_t>(col)];
+    assert(pivot != 0 && "Vandermonde must be invertible");
+    const uint8_t inv = Gf256::Inv(pivot);
+    // Scale the pivot column.
+    for (int r = 0; r < k + m; ++r) {
+      v[static_cast<size_t>(r)][static_cast<size_t>(col)] =
+          Gf256::Mul(v[static_cast<size_t>(r)][static_cast<size_t>(col)], inv);
+    }
+    // Eliminate the pivot row's other entries.
+    for (int c2 = 0; c2 < k; ++c2) {
+      if (c2 == col) {
+        continue;
+      }
+      const uint8_t factor = v[static_cast<size_t>(col)][static_cast<size_t>(c2)];
+      if (factor == 0) {
+        continue;
+      }
+      for (int r = 0; r < k + m; ++r) {
+        v[static_cast<size_t>(r)][static_cast<size_t>(c2)] = static_cast<uint8_t>(
+            v[static_cast<size_t>(r)][static_cast<size_t>(c2)] ^
+            Gf256::Mul(factor, v[static_cast<size_t>(r)][static_cast<size_t>(col)]));
+      }
+    }
+  }
+  Matrix coding(static_cast<size_t>(m), std::vector<uint8_t>(static_cast<size_t>(k)));
+  for (int r = 0; r < m; ++r) {
+    coding[static_cast<size_t>(r)] = v[static_cast<size_t>(k + r)];
+  }
+  return coding;
+}
+
+// Inverts a square GF(256) matrix in place via Gauss-Jordan. Returns false
+// if singular.
+bool InvertMatrix(Matrix& a) {
+  const int n = static_cast<int>(a.size());
+  Matrix inv(static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    inv[static_cast<size_t>(i)][static_cast<size_t>(i)] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot_row = -1;
+    for (int r = col; r < n; ++r) {
+      if (a[static_cast<size_t>(r)][static_cast<size_t>(col)] != 0) {
+        pivot_row = r;
+        break;
+      }
+    }
+    if (pivot_row < 0) {
+      return false;
+    }
+    std::swap(a[static_cast<size_t>(col)], a[static_cast<size_t>(pivot_row)]);
+    std::swap(inv[static_cast<size_t>(col)], inv[static_cast<size_t>(pivot_row)]);
+    const uint8_t piv_inv =
+        Gf256::Inv(a[static_cast<size_t>(col)][static_cast<size_t>(col)]);
+    for (int c = 0; c < n; ++c) {
+      a[static_cast<size_t>(col)][static_cast<size_t>(c)] =
+          Gf256::Mul(a[static_cast<size_t>(col)][static_cast<size_t>(c)], piv_inv);
+      inv[static_cast<size_t>(col)][static_cast<size_t>(c)] =
+          Gf256::Mul(inv[static_cast<size_t>(col)][static_cast<size_t>(c)], piv_inv);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const uint8_t factor = a[static_cast<size_t>(r)][static_cast<size_t>(col)];
+      if (factor == 0) {
+        continue;
+      }
+      for (int c = 0; c < n; ++c) {
+        a[static_cast<size_t>(r)][static_cast<size_t>(c)] = static_cast<uint8_t>(
+            a[static_cast<size_t>(r)][static_cast<size_t>(c)] ^
+            Gf256::Mul(factor, a[static_cast<size_t>(col)][static_cast<size_t>(c)]));
+        inv[static_cast<size_t>(r)][static_cast<size_t>(c)] = static_cast<uint8_t>(
+            inv[static_cast<size_t>(r)][static_cast<size_t>(c)] ^
+            Gf256::Mul(factor, inv[static_cast<size_t>(col)][static_cast<size_t>(c)]));
+      }
+    }
+  }
+  a = std::move(inv);
+  return true;
+}
+
+void PatternToBytes(uint64_t pattern, uint8_t out[8]) {
+  std::memcpy(out, &pattern, 8);
+}
+
+uint64_t BytesToPattern(const uint8_t in[8]) {
+  uint64_t pattern;
+  std::memcpy(&pattern, in, 8);
+  return pattern;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  assert(k >= 1 && m >= 1 && k + m <= 255);
+  coding_ = SystematicCoding(k, m);
+}
+
+std::vector<uint64_t> ReedSolomon::EncodePatterns(
+    std::span<const uint64_t> data) const {
+  assert(static_cast<int>(data.size()) == k_);
+  std::vector<uint64_t> parity(static_cast<size_t>(m_), 0);
+  for (int p = 0; p < m_; ++p) {
+    uint8_t acc[8] = {0};
+    for (int d = 0; d < k_; ++d) {
+      const uint8_t factor = coding_[static_cast<size_t>(p)][static_cast<size_t>(d)];
+      if (factor == 0) {
+        continue;
+      }
+      uint8_t bytes[8];
+      PatternToBytes(data[static_cast<size_t>(d)], bytes);
+      for (int b = 0; b < 8; ++b) {
+        acc[b] = static_cast<uint8_t>(acc[b] ^ Gf256::Mul(factor, bytes[b]));
+      }
+    }
+    parity[static_cast<size_t>(p)] = BytesToPattern(acc);
+  }
+  return parity;
+}
+
+void ReedSolomon::EncodeBytes(const uint8_t* const* data,
+                              uint8_t* const* parity, size_t len) const {
+  for (int p = 0; p < m_; ++p) {
+    std::memset(parity[p], 0, len);
+    for (int d = 0; d < k_; ++d) {
+      const uint8_t factor = coding_[static_cast<size_t>(p)][static_cast<size_t>(d)];
+      if (factor == 0) {
+        continue;
+      }
+      const uint8_t* src = data[d];
+      uint8_t* dst = parity[p];
+      for (size_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<uint8_t>(dst[i] ^ Gf256::Mul(factor, src[i]));
+      }
+    }
+  }
+}
+
+uint64_t ReedSolomon::UpdateParityPattern(int row, int slot,
+                                          uint64_t old_parity,
+                                          uint64_t old_data,
+                                          uint64_t new_data) const {
+  const uint8_t factor =
+      coding_[static_cast<size_t>(row)][static_cast<size_t>(slot)];
+  uint8_t delta[8];
+  uint8_t parity[8];
+  const uint64_t d = old_data ^ new_data;
+  std::memcpy(delta, &d, 8);
+  std::memcpy(parity, &old_parity, 8);
+  for (int b = 0; b < 8; ++b) {
+    parity[b] = static_cast<uint8_t>(parity[b] ^ Gf256::Mul(factor, delta[b]));
+  }
+  uint64_t out;
+  std::memcpy(&out, parity, 8);
+  return out;
+}
+
+Status ReedSolomon::ReconstructPatterns(std::span<uint64_t> shards,
+                                        const std::vector<bool>& present) const {
+  const int total = k_ + m_;
+  assert(static_cast<int>(shards.size()) == total);
+  assert(static_cast<int>(present.size()) == total);
+
+  int missing = 0;
+  for (bool p : present) {
+    if (!p) {
+      missing++;
+    }
+  }
+  if (missing == 0) {
+    return OkStatus();
+  }
+  if (missing > m_) {
+    return DataLossError("more erasures than parity shards");
+  }
+
+  // Build a k x k decode matrix from the first k surviving shards' rows of
+  // the full generator matrix [I; coding].
+  Matrix decode(static_cast<size_t>(k_), std::vector<uint8_t>(static_cast<size_t>(k_), 0));
+  std::vector<int> survivors;
+  survivors.reserve(static_cast<size_t>(k_));
+  for (int i = 0; i < total && static_cast<int>(survivors.size()) < k_; ++i) {
+    if (!present[static_cast<size_t>(i)]) {
+      continue;
+    }
+    const size_t row = survivors.size();
+    if (i < k_) {
+      decode[row][static_cast<size_t>(i)] = 1;
+    } else {
+      decode[row] = coding_[static_cast<size_t>(i - k_)];
+    }
+    survivors.push_back(i);
+  }
+  if (static_cast<int>(survivors.size()) < k_) {
+    return DataLossError("fewer than k surviving shards");
+  }
+  if (!InvertMatrix(decode)) {
+    return InternalError("decode matrix singular");
+  }
+
+  // Recover the data shards: data = decode * survivor_shards.
+  std::vector<uint64_t> data(static_cast<size_t>(k_), 0);
+  for (int d = 0; d < k_; ++d) {
+    uint8_t acc[8] = {0};
+    for (int s = 0; s < k_; ++s) {
+      const uint8_t factor = decode[static_cast<size_t>(d)][static_cast<size_t>(s)];
+      if (factor == 0) {
+        continue;
+      }
+      uint8_t bytes[8];
+      PatternToBytes(shards[static_cast<size_t>(survivors[static_cast<size_t>(s)])],
+                     bytes);
+      for (int b = 0; b < 8; ++b) {
+        acc[b] = static_cast<uint8_t>(acc[b] ^ Gf256::Mul(factor, bytes[b]));
+      }
+    }
+    data[static_cast<size_t>(d)] = BytesToPattern(acc);
+  }
+  for (int d = 0; d < k_; ++d) {
+    shards[static_cast<size_t>(d)] = data[static_cast<size_t>(d)];
+  }
+  // Re-encode any missing parity.
+  const std::vector<uint64_t> parity = EncodePatterns(data);
+  for (int p = 0; p < m_; ++p) {
+    if (!present[static_cast<size_t>(k_ + p)]) {
+      shards[static_cast<size_t>(k_ + p)] = parity[static_cast<size_t>(p)];
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace biza

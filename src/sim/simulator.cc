@@ -1,0 +1,38 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace biza {
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::RunUntilIdle() {
+  while (!queue_.empty()) {
+    // priority_queue::top() returns const&; the callback must be moved out
+    // before pop, so copy the header fields first.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    fired_++;
+    event.fn();
+  }
+  return now_;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    fired_++;
+    event.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace biza

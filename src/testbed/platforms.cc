@@ -1,0 +1,195 @@
+#include "src/testbed/platforms.h"
+
+#include <cassert>
+
+namespace biza {
+
+const char* PlatformKindName(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kBiza:
+      return "BIZA";
+    case PlatformKind::kBizaNoSelector:
+      return "BIZAw/oSelector";
+    case PlatformKind::kBizaNoAvoid:
+      return "BIZAw/oAvoid";
+    case PlatformKind::kDmzapRaizn:
+      return "dmzap+RAIZN";
+    case PlatformKind::kMdraidDmzap:
+      return "mdraid+dmzap";
+    case PlatformKind::kMdraidConv:
+      return "mdraid+ConvSSD";
+    case PlatformKind::kRaizn:
+      return "RAIZN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
+                                           PlatformConfig config) {
+  auto platform = std::unique_ptr<Platform>(new Platform());
+  platform->kind_ = kind;
+  platform->config_ = config;
+  Platform& p = *platform;
+
+  auto make_zns = [&]() {
+    for (int d = 0; d < config.num_ssds; ++d) {
+      ZnsConfig zc = config.zns;
+      zc.seed = config.seed * 1000003ULL + static_cast<uint64_t>(d);
+      p.zns_.push_back(std::make_unique<ZnsDevice>(sim, zc));
+    }
+  };
+
+  switch (kind) {
+    case PlatformKind::kBiza:
+    case PlatformKind::kBizaNoSelector:
+    case PlatformKind::kBizaNoAvoid: {
+      make_zns();
+      BizaConfig bc = config.biza;
+      if (kind == PlatformKind::kBizaNoSelector) {
+        bc.enable_selector = false;
+      }
+      if (kind == PlatformKind::kBizaNoAvoid) {
+        bc.enable_gc_avoidance = false;
+      }
+      std::vector<ZnsDevice*> devices;
+      for (auto& dev : p.zns_) {
+        devices.push_back(dev.get());
+      }
+      p.biza_ = std::make_unique<BizaArray>(sim, devices, bc);
+      p.block_ = p.biza_.get();
+      break;
+    }
+    case PlatformKind::kDmzapRaizn: {
+      make_zns();
+      std::vector<ZnsDevice*> devices;
+      for (auto& dev : p.zns_) {
+        devices.push_back(dev.get());
+      }
+      p.raizn_ = std::make_unique<Raizn>(sim, devices, config.raizn);
+      p.dmzaps_.push_back(
+          std::make_unique<DmZap>(sim, p.raizn_.get(), config.dmzap));
+      p.block_ = p.dmzaps_[0].get();
+      break;
+    }
+    case PlatformKind::kMdraidDmzap: {
+      make_zns();
+      std::vector<BlockTarget*> children;
+      for (auto& dev : p.zns_) {
+        p.zoned_adapters_.push_back(
+            std::make_unique<ZnsZonedTarget>(dev.get()));
+        p.dmzaps_.push_back(std::make_unique<DmZap>(
+            sim, p.zoned_adapters_.back().get(), config.dmzap));
+        children.push_back(p.dmzaps_.back().get());
+      }
+      MdraidConfig mc = config.mdraid;
+      // dm-zap cannot re-merge the 4 KiB pages mdraid emits (§5.2).
+      mc.block_layer_merge = false;
+      p.mdraid_ = std::make_unique<Mdraid>(sim, children, mc);
+      p.block_ = p.mdraid_.get();
+      break;
+    }
+    case PlatformKind::kMdraidConv: {
+      std::vector<BlockTarget*> children;
+      for (int d = 0; d < config.num_ssds; ++d) {
+        ConvSsdConfig cc = config.conv;
+        cc.seed = config.seed * 2000003ULL + static_cast<uint64_t>(d);
+        p.conv_.push_back(std::make_unique<ConvSsd>(sim, cc));
+        p.conv_adapters_.push_back(
+            std::make_unique<ConvSsdTarget>(p.conv_.back().get()));
+        children.push_back(p.conv_adapters_.back().get());
+      }
+      MdraidConfig mc = config.mdraid;
+      mc.block_layer_merge = true;  // the block layer re-merges 4 KiB pages
+      p.mdraid_ = std::make_unique<Mdraid>(sim, children, mc);
+      p.block_ = p.mdraid_.get();
+      break;
+    }
+    case PlatformKind::kRaizn: {
+      make_zns();
+      std::vector<ZnsDevice*> devices;
+      for (auto& dev : p.zns_) {
+        devices.push_back(dev.get());
+      }
+      p.raizn_ = std::make_unique<Raizn>(sim, devices, config.raizn);
+      p.zoned_ = p.raizn_.get();
+      break;
+    }
+  }
+  return platform;
+}
+
+WaBreakdown Platform::CollectWa(uint64_t user_blocks) const {
+  WaBreakdown wa;
+  wa.user_blocks = user_blocks;
+  for (const auto& dev : zns_) {
+    wa.AddDeviceTags(dev->stats().flash_by_tag);
+  }
+  for (const auto& dev : conv_) {
+    wa.AddDeviceTags(dev->stats().flash_by_tag);
+  }
+  return wa;
+}
+
+uint64_t Platform::FlashProgrammedBlocks() const {
+  uint64_t total = 0;
+  for (const auto& dev : zns_) {
+    total += dev->stats().flash_programmed_blocks;
+  }
+  for (const auto& dev : conv_) {
+    total += dev->stats().flash_programmed_blocks;
+  }
+  return total;
+}
+
+std::map<std::string, SimTime> Platform::CpuBreakdown() const {
+  std::map<std::string, SimTime> out;
+  auto fold = [&out](const CpuAccount& account) {
+    for (const auto& [component, ns] : account.accounts()) {
+      out[component] += ns;
+    }
+  };
+  for (const auto& dz : dmzaps_) {
+    fold(dz->cpu());
+  }
+  if (raizn_) {
+    fold(raizn_->cpu());
+  }
+  if (mdraid_) {
+    fold(mdraid_->cpu());
+  }
+  if (biza_) {
+    fold(biza_->cpu());
+  }
+  // Modelled kernel-I/O CPU share: per-block submission/completion handling.
+  constexpr SimTime kIoNsPerBlock = 400;
+  uint64_t io_blocks = 0;
+  for (const auto& dev : zns_) {
+    io_blocks += dev->stats().host_written_blocks + dev->stats().host_read_blocks;
+  }
+  for (const auto& dev : conv_) {
+    io_blocks += dev->stats().host_written_blocks + dev->stats().host_read_blocks;
+  }
+  out["io"] += io_blocks * kIoNsPerBlock;
+  return out;
+}
+
+void Platform::Quiesce(Simulator* sim) {
+  if (block_ != nullptr) {
+    bool done = false;
+    block_->FlushBuffers([&done]() { done = true; });
+    sim->RunUntilIdle();
+    assert(done);
+  } else {
+    sim->RunUntilIdle();
+  }
+}
+
+std::vector<ZnsDevice*> Platform::zns_devices() {
+  std::vector<ZnsDevice*> out;
+  for (auto& dev : zns_) {
+    out.push_back(dev.get());
+  }
+  return out;
+}
+
+}  // namespace biza

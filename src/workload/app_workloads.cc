@@ -1,0 +1,103 @@
+#include "src/workload/app_workloads.h"
+
+namespace biza {
+
+namespace {
+
+AppProfile Make(std::string name, double write_ratio, uint64_t write_blocks,
+                uint64_t read_blocks, double metadata_fraction,
+                double compaction_fraction) {
+  AppProfile p;
+  p.name = std::move(name);
+  p.write_ratio = write_ratio;
+  p.write_blocks = write_blocks;
+  p.read_blocks = read_blocks;
+  p.metadata_fraction = metadata_fraction;
+  p.compaction_fraction = compaction_fraction;
+  return p;
+}
+
+}  // namespace
+
+AppProfile AppProfile::FilebenchRandomwrite() {
+  // Write-dominated; application random writes become log appends in F2FS,
+  // plus heavy metadata churn.
+  return Make("randomwrite", 0.95, 16, 4, 0.20, 0.0);
+}
+AppProfile AppProfile::FilebenchFileserver() {
+  return Make("fileserv", 0.60, 32, 16, 0.15, 0.0);
+}
+AppProfile AppProfile::FilebenchOltp() {
+  // Small synchronous writes + log writes, read-mostly lookups.
+  return Make("oltp", 0.45, 4, 4, 0.25, 0.0);
+}
+AppProfile AppProfile::FilebenchWebserver() {
+  // Read-dominated: writes are only 4.8% of requests (§5.3).
+  return Make("webserver", 0.048, 4, 16, 0.30, 0.0);
+}
+AppProfile AppProfile::DbBenchFillseq() {
+  // Sequential key order: memtable flushes, no compaction rewrites.
+  return Make("fillseq", 0.97, 256, 4, 0.05, 0.0);
+}
+AppProfile AppProfile::DbBenchFillrandom() {
+  // Random keys: flushes + compaction rewriting overlapping SSTs.
+  return Make("fillrandom", 0.95, 256, 4, 0.08, 0.35);
+}
+AppProfile AppProfile::DbBenchFillseekseq() {
+  // Sequential fill followed by seek-dominated reads.
+  return Make("fillseekseq", 0.30, 256, 4, 0.05, 0.0);
+}
+
+AppWorkload::AppWorkload(const AppProfile& profile)
+    : profile_(profile),
+      rng_(profile.seed),
+      log_cursor_(profile.metadata_blocks) {}
+
+BlockRequest AppWorkload::Next() {
+  BlockRequest req;
+  req.is_write = rng_.Chance(profile_.write_ratio);
+  const uint64_t footprint = profile_.footprint_blocks;
+
+  if (req.is_write) {
+    if (rng_.Chance(profile_.metadata_fraction)) {
+      // Hot metadata overwrite (NAT/SIT): 4 KiB random within the region.
+      req.nblocks = 1;
+      req.offset_blocks = rng_.Uniform(profile_.metadata_blocks);
+      return req;
+    }
+    // Log append (segment write), with optional compaction rewrites that
+    // restart earlier in the log (LSM compaction rewriting SSTs).
+    req.nblocks = profile_.write_blocks;
+    if (profile_.compaction_fraction > 0.0 &&
+        rng_.Chance(profile_.compaction_fraction)) {
+      const uint64_t span = footprint - profile_.metadata_blocks;
+      req.offset_blocks =
+          profile_.metadata_blocks + rng_.Uniform(span - req.nblocks);
+      // Align to segment for realism.
+      req.offset_blocks -= (req.offset_blocks - profile_.metadata_blocks) %
+                           profile_.write_blocks;
+      return req;
+    }
+    if (log_cursor_ + req.nblocks > footprint) {
+      log_cursor_ = profile_.metadata_blocks;  // wrap the log
+    }
+    req.offset_blocks = log_cursor_;
+    log_cursor_ += req.nblocks;
+    return req;
+  }
+
+  // Reads: half random point lookups, half scans advancing a cursor.
+  req.nblocks = profile_.read_blocks;
+  if (rng_.Chance(0.5)) {
+    req.offset_blocks = rng_.Uniform(footprint - req.nblocks);
+  } else {
+    if (read_cursor_ + req.nblocks > footprint) {
+      read_cursor_ = 0;
+    }
+    req.offset_blocks = read_cursor_;
+    read_cursor_ += req.nblocks;
+  }
+  return req;
+}
+
+}  // namespace biza

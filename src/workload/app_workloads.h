@@ -1,0 +1,65 @@
+// Application-level workload models for the Fig. 13 experiments.
+//
+// The paper runs F2FS + filebench and RocksDB (on F2FS) + db_bench on each
+// AFA. We model the BLOCK STREAM such stacks emit instead of porting the
+// applications (see DESIGN.md §1): F2FS is log-structured, so data lands as
+// large sequential segment writes in a rotating log, while a small, hot
+// metadata region (NAT/SIT, ~two zones in the paper) takes frequent 4 KiB
+// random overwrites. Reads follow the personality of the benchmark.
+//
+// filebench personalities (§5.3): randomwrite (write-dominated), fileserver
+// and oltp (mixed), webserver (read-dominated, 4.8% writes).
+// db_bench workloads: fillseq (sequential key order -> nearly pure
+// sequential log), fillrandom (random keys -> log writes + compaction
+// rewrites), fillseekseq (fill then seek-reads).
+#ifndef BIZA_SRC_WORKLOAD_APP_WORKLOADS_H_
+#define BIZA_SRC_WORKLOAD_APP_WORKLOADS_H_
+
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace biza {
+
+struct AppProfile {
+  std::string name;
+  double write_ratio = 0.5;
+  uint64_t segment_blocks = 512;    // F2FS segment (2 MiB) per log append
+  uint64_t write_blocks = 16;       // blocks per data write request
+  uint64_t read_blocks = 16;
+  double metadata_fraction = 0.15;  // fraction of writes hitting metadata
+  uint64_t metadata_blocks = 1024;  // hot metadata region (4 MiB)
+  double compaction_fraction = 0.0; // extra log rewrites (LSM compaction)
+  uint64_t footprint_blocks = 1 << 18;
+  uint64_t seed = 7;
+
+  // filebench personalities.
+  static AppProfile FilebenchRandomwrite();
+  static AppProfile FilebenchFileserver();
+  static AppProfile FilebenchOltp();
+  static AppProfile FilebenchWebserver();
+  // db_bench workloads (RocksDB on F2FS).
+  static AppProfile DbBenchFillseq();
+  static AppProfile DbBenchFillrandom();
+  static AppProfile DbBenchFillseekseq();
+};
+
+// Emits the block stream of an F2FS-like log-structured FS running the
+// given application profile.
+class AppWorkload : public WorkloadGenerator {
+ public:
+  explicit AppWorkload(const AppProfile& profile);
+
+  BlockRequest Next() override;
+  std::string name() const override { return profile_.name; }
+
+ private:
+  AppProfile profile_;
+  Rng rng_;
+  uint64_t log_cursor_;        // rotating log head (after metadata region)
+  uint64_t read_cursor_ = 0;   // for scan-style reads
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_WORKLOAD_APP_WORKLOADS_H_

@@ -1,0 +1,108 @@
+// Trace statistics: write ratio, request sizes, and the exact reuse-distance
+// CDF (Fig. 4 / Table 6 verification).
+//
+// Reuse distance of a write is the number of bytes written to the device
+// between two consecutive writes of the same block address (§3.1). Computed
+// exactly with a per-block last-position map.
+#ifndef BIZA_SRC_WORKLOAD_TRACE_STATS_H_
+#define BIZA_SRC_WORKLOAD_TRACE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+
+class TraceStats {
+ public:
+  void Observe(const BlockRequest& req) {
+    requests_++;
+    if (req.is_write) {
+      write_requests_++;
+      write_blocks_ += req.nblocks;
+      for (uint64_t b = 0; b < req.nblocks; ++b) {
+        const uint64_t block = req.offset_blocks + b;
+        auto it = last_write_.find(block);
+        if (it != last_write_.end()) {
+          reuse_distances_.push_back((write_clock_ - it->second) * kBlockSize);
+          it->second = write_clock_;
+        } else {
+          last_write_.emplace(block, write_clock_);
+        }
+        write_clock_++;
+      }
+    } else {
+      read_blocks_ += req.nblocks;
+    }
+  }
+
+  uint64_t requests() const { return requests_; }
+  double write_ratio() const {
+    return requests_ == 0
+               ? 0.0
+               : static_cast<double>(write_requests_) /
+                     static_cast<double>(requests_);
+  }
+  double avg_write_kb() const {
+    return write_requests_ == 0
+               ? 0.0
+               : static_cast<double>(write_blocks_ * 4) /
+                     static_cast<double>(write_requests_);
+  }
+  double avg_read_kb() const {
+    const uint64_t read_requests = requests_ - write_requests_;
+    return read_requests == 0 ? 0.0
+                              : static_cast<double>(read_blocks_ * 4) /
+                                    static_cast<double>(read_requests);
+  }
+
+  // Fraction of reuse events with distance <= threshold bytes.
+  double ReuseCdfAt(uint64_t threshold_bytes) const {
+    if (reuse_distances_.empty()) {
+      return 0.0;
+    }
+    uint64_t below = 0;
+    for (uint64_t d : reuse_distances_) {
+      if (d <= threshold_bytes) {
+        below++;
+      }
+    }
+    return static_cast<double>(below) /
+           static_cast<double>(reuse_distances_.size());
+  }
+
+  // Full CDF sampled at the given thresholds (bytes).
+  std::vector<double> ReuseCdf(const std::vector<uint64_t>& thresholds) const {
+    std::vector<uint64_t> sorted = reuse_distances_;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> cdf;
+    cdf.reserve(thresholds.size());
+    for (uint64_t t : thresholds) {
+      const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+      cdf.push_back(sorted.empty()
+                        ? 0.0
+                        : static_cast<double>(it - sorted.begin()) /
+                              static_cast<double>(sorted.size()));
+    }
+    return cdf;
+  }
+
+  uint64_t reuse_events() const { return reuse_distances_.size(); }
+
+ private:
+  uint64_t requests_ = 0;
+  uint64_t write_requests_ = 0;
+  uint64_t write_blocks_ = 0;
+  uint64_t read_blocks_ = 0;
+  uint64_t write_clock_ = 0;  // blocks written so far
+  std::unordered_map<uint64_t, uint64_t> last_write_;
+  std::vector<uint64_t> reuse_distances_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_WORKLOAD_TRACE_STATS_H_

@@ -1,0 +1,139 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+
+namespace biza {
+
+namespace {
+
+TraceProfile Base(std::string name, double write_ratio, double avg_write_kb,
+                  double avg_read_kb, double hot_write_fraction,
+                  uint64_t hot_set_blocks) {
+  TraceProfile p;
+  p.name = std::move(name);
+  p.write_ratio = write_ratio;
+  p.avg_write_blocks =
+      std::max<uint64_t>(1, static_cast<uint64_t>(avg_write_kb / 4.0 + 0.5));
+  p.avg_read_blocks =
+      std::max<uint64_t>(1, static_cast<uint64_t>(avg_read_kb / 4.0 + 0.5));
+  p.hot_write_fraction = hot_write_fraction;
+  p.hot_set_blocks = hot_set_blocks;
+  return p;
+}
+
+}  // namespace
+
+// Table 6 write ratios and request sizes; hot-set parameters reproduce the
+// reuse-distance statements of §5.4 (small hot sets = short reuse distance).
+// 56 MiB of total ZRWA is 14336 blocks: hot sets well below that absorb,
+// hot sets far above it defeat the buffer.
+TraceProfile TraceProfile::Casa() {
+  // FIU casa: 98.6% writes, 4 KiB; 91.7% of chunks reuse within 56 MiB.
+  TraceProfile p = Base("casa", 0.986, 4, 13.3, 0.92, 3000);
+  p.footprint_blocks = 1 << 17;
+  return p;
+}
+TraceProfile TraceProfile::Online() {
+  // FIU online: 67.1% writes, 4 KiB, strong metadata locality.
+  TraceProfile p = Base("online", 0.671, 4, 4, 0.85, 2500);
+  p.footprint_blocks = 1 << 17;
+  return p;
+}
+TraceProfile TraceProfile::Ikki() {
+  TraceProfile p = Base("ikki", 0.928, 4, 10.2, 0.80, 5000);
+  p.footprint_blocks = 1 << 17;
+  return p;
+}
+TraceProfile TraceProfile::Proj() {
+  // MSRC proj: 3.0% writes, large reads.
+  TraceProfile p = Base("proj", 0.030, 18.5, 6.2, 0.60, 6000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Web() {
+  TraceProfile p = Base("web", 0.459, 9.8, 46.4, 0.55, 8000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Dap() {
+  // MSPC DAP: 51.9% writes, very large writes (121 KiB).
+  TraceProfile p = Base("DAP", 0.519, 121.3, 64, 0.40, 12000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Msnfs() {
+  TraceProfile p = Base("MSNFS", 0.315, 13.3, 9.8, 0.50, 9000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Lun0() {
+  TraceProfile p = Base("lun0", 0.176, 9.3, 30.4, 0.45, 10000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Lun1() {
+  TraceProfile p = Base("lun1", 0.380, 12.3, 20.6, 0.45, 10000);
+  p.footprint_blocks = 1 << 18;
+  return p;
+}
+TraceProfile TraceProfile::Tencent() {
+  // Tencent: 52.9% writes, 39 KiB writes; 90.2% of chunks reuse BEYOND
+  // 56 MiB — a cold, widely-spread working set.
+  TraceProfile p = Base("tencent", 0.529, 39.2, 31.5, 0.10, 60000);
+  p.footprint_blocks = 1 << 19;
+  return p;
+}
+
+std::vector<TraceProfile> TraceProfile::AllTable6() {
+  return {Casa(), Online(), Ikki(),  Proj(), Web(),
+          Dap(),  Msnfs(),  Lun0(),  Lun1(), Tencent()};
+}
+
+TraceProfile TraceProfile::SystorLike() {
+  // SYSTOR '17 VDI traces: only 17% of data has reuse distance < 14 MiB
+  // (3584 blocks). A small hot set takes ~17% of writes; the rest sprawls.
+  TraceProfile p = Base("systor", 0.70, 12, 16, 0.10, 1200);
+  p.footprint_blocks = 1 << 20;
+  return p;
+}
+
+SyntheticTrace::SyntheticTrace(const TraceProfile& profile)
+    : profile_(profile),
+      rng_(profile.seed),
+      hot_zipf_(std::max<uint64_t>(profile.hot_set_blocks, 1),
+                profile.zipf_theta, profile.seed ^ 0x5bd1e995) {}
+
+uint64_t SyntheticTrace::SampleSize(uint64_t avg_blocks) {
+  if (avg_blocks <= 1) {
+    return 1;
+  }
+  // Geometric-ish mixture around the mean: half the requests at the mean,
+  // the rest exponentially distributed, minimum one block.
+  if (rng_.Chance(0.5)) {
+    return avg_blocks;
+  }
+  const double sampled = rng_.Exponential(static_cast<double>(avg_blocks));
+  return std::clamp<uint64_t>(static_cast<uint64_t>(sampled + 0.5), 1,
+                              avg_blocks * 8);
+}
+
+BlockRequest SyntheticTrace::Next() {
+  BlockRequest req;
+  req.is_write = rng_.Chance(profile_.write_ratio);
+  req.nblocks =
+      SampleSize(req.is_write ? profile_.avg_write_blocks : profile_.avg_read_blocks);
+
+  const uint64_t footprint = profile_.footprint_blocks;
+  if (req.is_write && rng_.Chance(profile_.hot_write_fraction)) {
+    // Hot set: zipf-skewed over the first hot_set_blocks of the footprint.
+    req.offset_blocks = hot_zipf_.Next();
+  } else {
+    req.offset_blocks = rng_.Uniform(footprint);
+  }
+  if (req.offset_blocks + req.nblocks > footprint) {
+    req.offset_blocks = footprint - req.nblocks;
+  }
+  return req;
+}
+
+}  // namespace biza

@@ -1,0 +1,139 @@
+// Workload generators.
+//
+// A WorkloadGenerator is a deterministic stream of block requests. The
+// closed-loop Driver (driver.h) replays a generator against any BlockTarget
+// at a configurable I/O depth, which is how every experiment in bench/ runs.
+//
+// Three families:
+//  * MicroWorkload      — fio-style microbenchmarks (§5.2): seq/rand
+//                         read/write at a fixed request size.
+//  * SyntheticTrace     — production-trace models parameterised to Table 6
+//                         (write ratio, request sizes) and to the
+//                         reuse-distance profiles the paper quotes (hot-set
+//                         fraction controls how much of the working set
+//                         revisits within the ZRWA reach).
+//  * App workloads      — filebench / db_bench personalities as the block
+//                         streams an F2FS-like log-structured FS emits
+//                         (app_workloads.h).
+#ifndef BIZA_SRC_WORKLOAD_WORKLOAD_H_
+#define BIZA_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace biza {
+
+struct BlockRequest {
+  uint64_t offset_blocks = 0;
+  uint64_t nblocks = 1;
+  bool is_write = true;
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual BlockRequest Next() = 0;
+  virtual std::string name() const = 0;
+};
+
+// fio-style microbenchmark.
+class MicroWorkload : public WorkloadGenerator {
+ public:
+  MicroWorkload(bool sequential, bool write, uint64_t request_blocks,
+                uint64_t footprint_blocks, uint64_t seed)
+      : sequential_(sequential),
+        write_(write),
+        request_blocks_(request_blocks),
+        footprint_blocks_(footprint_blocks),
+        rng_(seed) {}
+
+  BlockRequest Next() override {
+    BlockRequest req;
+    req.nblocks = request_blocks_;
+    req.is_write = write_;
+    if (sequential_) {
+      if (cursor_ + request_blocks_ > footprint_blocks_) {
+        cursor_ = 0;
+      }
+      req.offset_blocks = cursor_;
+      cursor_ += request_blocks_;
+    } else {
+      const uint64_t slots = footprint_blocks_ / request_blocks_;
+      req.offset_blocks = rng_.Uniform(slots) * request_blocks_;
+    }
+    return req;
+  }
+
+  std::string name() const override {
+    return std::string(sequential_ ? "seq" : "rand") +
+           (write_ ? "write" : "read") + "-" +
+           std::to_string(request_blocks_ * 4) + "K";
+  }
+
+ private:
+  bool sequential_;
+  bool write_;
+  uint64_t request_blocks_;
+  uint64_t footprint_blocks_;
+  uint64_t cursor_ = 0;
+  Rng rng_;
+};
+
+// Parameters of a synthetic production trace (Table 6 presets).
+struct TraceProfile {
+  std::string name;
+  double write_ratio = 0.5;          // fraction of requests that write
+  uint64_t avg_write_blocks = 1;     // Table 6 avg write size / 4 KiB
+  uint64_t avg_read_blocks = 1;
+  uint64_t footprint_blocks = 1 << 18;
+  // Reuse-distance control: `hot_write_fraction` of writes target a uniform
+  // hot set of `hot_set_blocks`; the rest spread over the footprint.
+  double hot_write_fraction = 0.5;
+  uint64_t hot_set_blocks = 4096;
+  double zipf_theta = 0.99;          // skew within the hot set
+  uint64_t seed = 42;
+
+  // The ten workloads of Table 6, parameterised to their write ratios,
+  // request sizes, and the reuse-distance behaviour §5.4 describes (casa:
+  // 8.3% of chunks beyond 56 MiB reuse; tencent: 90.2% beyond).
+  static TraceProfile Casa();
+  static TraceProfile Online();
+  static TraceProfile Ikki();
+  static TraceProfile Proj();
+  static TraceProfile Web();
+  static TraceProfile Dap();
+  static TraceProfile Msnfs();
+  static TraceProfile Lun0();
+  static TraceProfile Lun1();
+  static TraceProfile Tencent();
+  static std::vector<TraceProfile> AllTable6();
+
+  // SYSTOR-like mixture used for the Fig. 4 reuse-distance CDF: only ~17%
+  // of written data revisits within 14 MiB.
+  static TraceProfile SystorLike();
+};
+
+class SyntheticTrace : public WorkloadGenerator {
+ public:
+  explicit SyntheticTrace(const TraceProfile& profile);
+
+  BlockRequest Next() override;
+  std::string name() const override { return profile_.name; }
+  const TraceProfile& profile() const { return profile_; }
+
+ private:
+  uint64_t SampleSize(uint64_t avg_blocks);
+
+  TraceProfile profile_;
+  Rng rng_;
+  ZipfGenerator hot_zipf_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,46 @@
+#include "src/zns/zns_config.h"
+
+namespace biza {
+
+ZnsConfig ZnsConfig::Zn540(uint32_t num_zones, uint64_t zone_capacity_blocks) {
+  ZnsConfig config;
+  config.model = "SIM-ZN540";
+  config.num_zones = num_zones;
+  config.zone_capacity_blocks = zone_capacity_blocks;
+  config.zrwa_blocks = 256;  // 1 MiB
+  config.max_open_zones = 14;
+  config.timing = NandTimingConfig{};
+  return config;
+}
+
+ZnsConfig ZnsConfig::DapuJ5500z() {
+  ZnsConfig config;
+  config.model = "SIM-J5500Z";
+  config.num_zones = 32;
+  config.zone_capacity_blocks = 18144ULL * kMiB / kBlockSize / 256;  // scaled
+  config.zrwa_blocks = 256;  // 1 MiB
+  config.max_open_zones = 16;
+  return config;
+}
+
+ZnsConfig ZnsConfig::InspurNs8600g() {
+  ZnsConfig config;
+  config.model = "SIM-NS8600G";
+  config.num_zones = 96;
+  config.zone_capacity_blocks = 2880ULL * kMiB / kBlockSize / 256;  // scaled
+  config.zrwa_blocks = 1440 / 4;  // 1440 KiB
+  config.max_open_zones = 8;
+  return config;
+}
+
+ZnsConfig ZnsConfig::SamsungPm1731a() {
+  ZnsConfig config;
+  config.model = "SIM-PM1731a";
+  config.num_zones = 512;
+  config.zone_capacity_blocks = 96ULL * kMiB / kBlockSize;  // small zones
+  config.zrwa_blocks = 64 / 4;  // 64 KiB
+  config.max_open_zones = 384;
+  return config;
+}
+
+}  // namespace biza

@@ -1,0 +1,373 @@
+// Tests of the BIZA core engine: mapping integrity, ZRWA absorption, the
+// zone group selector, GC (space reclamation, avoidance, backpressure),
+// degraded reads, channel detection, and OOB crash recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/biza/biza_array.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+namespace {
+
+ZnsConfig DevConfig(uint64_t seed, uint32_t num_zones = 48,
+                    uint64_t zone_cap = 1024) {
+  ZnsConfig config = ZnsConfig::Zn540(num_zones, zone_cap);
+  config.seed = seed;
+  return config;
+}
+
+struct Fixture {
+  Simulator sim;
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::unique_ptr<BizaArray> array;
+
+  explicit Fixture(BizaConfig config = {}, uint32_t num_zones = 48,
+                   uint64_t zone_cap = 1024, double deviation = 0.0) {
+    std::vector<ZnsDevice*> ptrs;
+    for (int d = 0; d < 4; ++d) {
+      ZnsConfig dc = DevConfig(static_cast<uint64_t>(d) + 1, num_zones, zone_cap);
+      dc.wear_level_deviation = deviation;
+      devs.push_back(std::make_unique<ZnsDevice>(&sim, dc));
+      ptrs.push_back(devs.back().get());
+    }
+    array = std::make_unique<BizaArray>(&sim, ptrs, config);
+  }
+
+  Status WriteSync(uint64_t lbn, std::vector<uint64_t> patterns,
+                   WriteTag tag = WriteTag::kData) {
+    Status out = InternalError("never completed");
+    array->SubmitWrite(lbn, std::move(patterns),
+                       [&](const Status& s) { out = s; }, tag);
+    sim.RunUntilIdle();
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> ReadSync(uint64_t lbn, uint64_t n) {
+    Status status = InternalError("never completed");
+    std::vector<uint64_t> out;
+    array->SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    if (!status.ok()) {
+      return status;
+    }
+    return out;
+  }
+
+  uint64_t TotalFlashWrites() const {
+    uint64_t total = 0;
+    for (const auto& dev : devs) {
+      total += dev->stats().flash_programmed_blocks;
+    }
+    return total;
+  }
+};
+
+TEST(BizaArray, ExposesConfiguredCapacity) {
+  Fixture f;
+  // 48 zones * 1024 blocks * k(3) * 0.70.
+  EXPECT_EQ(f.array->capacity_blocks(),
+            static_cast<uint64_t>(48 * 1024 * 3 * 0.70));
+}
+
+TEST(BizaArray, WriteReadRoundTrip) {
+  Fixture f;
+  ASSERT_TRUE(f.WriteSync(100, {1, 2, 3, 4, 5}).ok());
+  auto r = f.ReadSync(100, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(BizaArray, UnwrittenReadsZero) {
+  Fixture f;
+  auto r = f.ReadSync(500, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(BizaArray, OutOfRangeRejected) {
+  Fixture f;
+  const uint64_t cap = f.array->capacity_blocks();
+  EXPECT_EQ(f.WriteSync(cap, {1}).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(f.ReadSync(cap - 1, 2).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BizaArray, RandomWorkloadIntegrity) {
+  Fixture f;
+  Rng rng(11);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t lbn = rng.Uniform(20000);
+    const uint64_t n = 1 + rng.Uniform(8);
+    std::vector<uint64_t> patterns(n);
+    for (uint64_t b = 0; b < n; ++b) {
+      patterns[b] = rng.Next();
+      truth[lbn + b] = patterns[b];
+    }
+    ASSERT_TRUE(f.WriteSync(lbn, std::move(patterns)).ok());
+  }
+  int checked = 0;
+  for (const auto& [lbn, expected] : truth) {
+    if (checked++ > 500) {
+      break;
+    }
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], expected) << "lbn " << lbn;
+  }
+}
+
+TEST(BizaArray, HotUpdatesAbsorbedInZrwa) {
+  Fixture f;
+  // Heat up one block: after the ghost cache promotes it, updates are
+  // absorbed in-place and generate no flash programs.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(f.WriteSync(7, {static_cast<uint64_t>(i)}).ok());
+  }
+  EXPECT_GT(f.array->stats().inplace_updates, 150u);
+  uint64_t absorbed = 0;
+  for (const auto& dev : f.devs) {
+    absorbed += dev->stats().zrwa_absorbed_blocks;
+  }
+  EXPECT_GT(absorbed, 150u);
+  auto r = f.ReadSync(7, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 199u);
+}
+
+TEST(BizaArray, PartialParityUpdatesInPlace) {
+  Fixture f;
+  // Single-block writes: every request refreshes the open stripe's PP in
+  // place; PP flash writes only appear when windows slide.
+  for (uint64_t i = 0; i < 90; ++i) {
+    ASSERT_TRUE(f.WriteSync(i, {i}).ok());
+  }
+  EXPECT_GT(f.array->stats().parity_inplace_updates, 0u);
+  // 90 blocks = 30 stripes; parity blocks allocated once per stripe.
+  EXPECT_GE(f.array->stats().parity_writes, 30u);
+}
+
+TEST(BizaArray, SelectorClassifiesHotChunks) {
+  Fixture f;
+  ZipfGenerator zipf(2000, 0.99, 5);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t lbn = zipf.Next();
+    ASSERT_TRUE(f.WriteSync(lbn, {rng.Next()}).ok());
+  }
+  // The ghost cache must have promoted the zipf head.
+  EXPECT_GT(f.array->stats().inplace_updates, 1000u);
+}
+
+TEST(BizaArray, SequentialThenOverwriteTriggersGcAndReclaims) {
+  BizaConfig config;
+  config.exposed_capacity_ratio = 0.60;
+  Fixture f(config, /*num_zones=*/32, /*zone_cap=*/512);
+  const uint64_t cap = f.array->capacity_blocks();
+  Driver::Fill(&f.sim, f.array.get(), cap, 64, /*epoch=*/1);
+  // Overwrite everything once more: old stripes invalidate, GC must run.
+  Driver::Fill(&f.sim, f.array.get(), cap, 64, /*epoch=*/2);
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.array->stats().gc_runs, 0u);
+  EXPECT_GT(f.array->stats().gc_zone_resets, 0u);
+  // Integrity after GC.
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t lbn = rng.Uniform(cap);
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], PatternFor(lbn, 2)) << "lbn " << lbn;
+  }
+}
+
+TEST(BizaArray, BackpressureParksWritesInsteadOfFailing) {
+  BizaConfig config;
+  config.exposed_capacity_ratio = 0.62;  // tight enough to force stalls
+  Fixture f(config, /*num_zones=*/24, /*zone_cap=*/512);
+  const uint64_t cap = f.array->capacity_blocks();
+  // Hammer overwrites at 3x capacity; everything must still complete OK.
+  MicroWorkload wl(false, true, 8, cap, 13);
+  Driver driver(&f.sim, f.array.get(), &wl, 16, /*verify_reads=*/true);
+  auto report = driver.Run(3 * cap / 8, 600 * kSecond);
+  EXPECT_EQ(report.requests_completed, 3 * cap / 8);
+  EXPECT_GT(f.array->stats().gc_runs, 0u);
+  // Verify a sample survived.
+  MicroWorkload rl(false, false, 8, cap, 13);
+  Driver reader(&f.sim, f.array.get(), &rl, 8, true);
+  auto rreport = reader.Run(200, 30 * kSecond);
+  EXPECT_EQ(rreport.verify_failures, 0u);
+}
+
+TEST(BizaArray, DegradedReadReconstructsFromParity) {
+  Fixture f;
+  Rng rng(10);
+  std::vector<uint64_t> truth(600);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next();
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  for (int failed = 0; failed < 4; ++failed) {
+    f.array->SetDeviceFailed(failed, true);
+    for (uint64_t lbn = 0; lbn < truth.size(); lbn += 29) {
+      auto r = f.ReadSync(lbn, 1);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ((*r)[0], truth[lbn])
+          << "lbn " << lbn << " with device " << failed << " failed";
+    }
+    f.array->SetDeviceFailed(failed, false);
+  }
+  EXPECT_GT(f.array->stats().degraded_reads, 0u);
+}
+
+TEST(BizaArray, DegradedReadAfterInPlaceUpdates) {
+  Fixture f;
+  // In-place ZRWA updates must keep parity consistent for reconstruction.
+  for (uint64_t lbn = 0; lbn < 30; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn}).ok());
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (uint64_t lbn = 0; lbn < 30; ++lbn) {
+      ASSERT_TRUE(
+          f.WriteSync(lbn, {lbn * 1000 + static_cast<uint64_t>(round)}).ok());
+    }
+  }
+  ASSERT_GT(f.array->stats().inplace_updates, 0u);
+  for (int failed = 0; failed < 4; ++failed) {
+    f.array->SetDeviceFailed(failed, true);
+    for (uint64_t lbn = 0; lbn < 30; ++lbn) {
+      auto r = f.ReadSync(lbn, 1);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ((*r)[0], lbn * 1000 + 19)
+          << "lbn " << lbn << " with device " << failed << " failed";
+    }
+    f.array->SetDeviceFailed(failed, false);
+  }
+}
+
+TEST(BizaArray, RecoveryRebuildsMappingsFromOob) {
+  Fixture f;
+  Rng rng(14);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lbn = rng.Uniform(10000);
+    const uint64_t pattern = rng.Next();
+    truth[lbn] = pattern;
+    ASSERT_TRUE(f.WriteSync(lbn, {pattern}).ok());
+  }
+  // Host crash: attach a brand-new engine to the same devices and recover.
+  std::vector<ZnsDevice*> ptrs;
+  for (auto& dev : f.devs) {
+    ptrs.push_back(dev.get());
+  }
+  BizaConfig rc;
+  rc.recover_mode = true;
+  BizaArray recovered(&f.sim, ptrs, rc);
+  ASSERT_TRUE(recovered.Recover().ok());
+
+  for (const auto& [lbn, expected] : truth) {
+    Status status = InternalError("x");
+    std::vector<uint64_t> out;
+    recovered.SubmitRead(lbn, 1, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    f.sim.RunUntilIdle();
+    ASSERT_TRUE(status.ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], expected) << "lbn " << lbn;
+  }
+  // BMT agrees with the pre-crash engine.
+  int checked = 0;
+  for (const auto& [lbn, expected] : truth) {
+    if (checked++ > 200) {
+      break;
+    }
+    EXPECT_EQ(recovered.DebugBmtPa(lbn), f.array->DebugBmtPa(lbn));
+  }
+}
+
+TEST(BizaArray, RecoveredArrayAcceptsNewWrites) {
+  Fixture f;
+  ASSERT_TRUE(f.WriteSync(1, {111}).ok());
+  std::vector<ZnsDevice*> ptrs;
+  for (auto& dev : f.devs) {
+    ptrs.push_back(dev.get());
+  }
+  BizaConfig rc;
+  rc.recover_mode = true;
+  BizaArray recovered(&f.sim, ptrs, rc);
+  ASSERT_TRUE(recovered.Recover().ok());
+
+  Status status = InternalError("x");
+  recovered.SubmitWrite(2, {222}, [&](const Status& s) { status = s; },
+                        WriteTag::kData);
+  f.sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  std::vector<uint64_t> out;
+  recovered.SubmitRead(1, 2, [&](const Status& s, std::vector<uint64_t> p) {
+    status = s;
+    out = std::move(p);
+  });
+  f.sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{111, 222}));
+}
+
+TEST(BizaArray, DetectorGuessesMatchDeviceWithoutDeviation) {
+  Fixture f;
+  ASSERT_TRUE(f.WriteSync(0, std::vector<uint64_t>(64, 1)).ok());
+  // Every opened zone's guess must equal the device's actual channel when
+  // the device maps strictly round-robin.
+  for (int d = 0; d < 4; ++d) {
+    const auto& det = f.array->detector(d);
+    for (uint32_t zone = 0; zone < 48; ++zone) {
+      const int guess = det.ChannelOf(zone);
+      if (guess >= 0) {
+        EXPECT_EQ(guess, f.devs[static_cast<size_t>(d)]->DebugChannelOf(zone))
+            << "dev " << d << " zone " << zone;
+      }
+    }
+  }
+}
+
+TEST(BizaArray, AblationFlagsDisableMechanisms) {
+  BizaConfig no_selector;
+  no_selector.enable_selector = false;
+  Fixture f(no_selector);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.WriteSync(static_cast<uint64_t>(i), {1}).ok());
+  }
+  // Without the selector the ghost cache is never consulted.
+  EXPECT_EQ(f.array->config().enable_selector, false);
+  auto r = f.ReadSync(10, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 1u);
+}
+
+TEST(BizaArray, GcPreservesDataUnderChurnWithDeviation) {
+  // Wear-leveling deviations make some guesses wrong; correctness must not
+  // depend on detection accuracy.
+  BizaConfig config;
+  config.exposed_capacity_ratio = 0.60;
+  Fixture f(config, /*num_zones=*/32, /*zone_cap=*/512, /*deviation=*/0.2);
+  const uint64_t cap = f.array->capacity_blocks();
+  MicroWorkload wl(false, true, 4, cap, 21);
+  Driver driver(&f.sim, f.array.get(), &wl, 16, /*verify_reads=*/true);
+  auto report = driver.Run(2 * cap / 4, 120 * kSecond);
+  EXPECT_EQ(report.requests_completed, 2 * cap / 4);
+  MicroWorkload rl(false, false, 4, cap, 21);
+  Driver reader(&f.sim, f.array.get(), &rl, 8, true);
+  auto rreport = reader.Run(300, 30 * kSecond);
+  EXPECT_EQ(rreport.verify_failures, 0u);
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,141 @@
+// Tests of the guess-and-verify channel detector (§4.3, Fig. 8).
+#include <gtest/gtest.h>
+
+#include "src/biza/channel_detector.h"
+
+namespace biza {
+namespace {
+
+ChannelDetectorConfig Config() {
+  ChannelDetectorConfig config;
+  config.num_channels = 8;
+  config.spike_factor = 3.0;
+  config.vote_threshold = 3;
+  config.latency_ewma_alpha = 0.1;
+  return config;
+}
+
+TEST(ChannelDetector, GuessesRoundRobin) {
+  ChannelDetector det(Config(), 32);
+  for (uint32_t z = 0; z < 16; ++z) {
+    EXPECT_EQ(det.OnZoneOpened(z), static_cast<int>(z % 8));
+    EXPECT_EQ(det.ChannelOf(z), static_cast<int>(z % 8));
+  }
+}
+
+TEST(ChannelDetector, UnknownZoneIsMinusOne) {
+  ChannelDetector det(Config(), 32);
+  EXPECT_EQ(det.ChannelOf(5), -1);
+}
+
+TEST(ChannelDetector, ConfirmOverridesGuess) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);  // guess 0
+  det.Confirm(0, 6);
+  EXPECT_EQ(det.ChannelOf(0), 6);
+  EXPECT_TRUE(det.IsConfirmed(0));
+}
+
+TEST(ChannelDetector, ResetForgets) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);
+  det.OnZoneReset(0);
+  EXPECT_EQ(det.ChannelOf(0), -1);
+  EXPECT_FALSE(det.IsConfirmed(0));
+  // A fresh open continues the round-robin sequence.
+  EXPECT_EQ(det.OnZoneOpened(0), 1);
+}
+
+// Feeds `n` baseline latencies to settle the EWMA.
+void Baseline(ChannelDetector& det, uint32_t zone, int n) {
+  for (int i = 0; i < n; ++i) {
+    det.RecordWriteLatency(zone, 100000, -1, false);
+  }
+}
+
+TEST(ChannelDetector, ThreeSpikeVotesCorrectTheGuess) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);  // guessed channel 0; truly on channel 5
+  Baseline(det, 0, 100);
+  // During GC on channel 5, zone 0 spikes repeatedly (Fig. 8 A -> B -> C).
+  for (int i = 0; i < 2; ++i) {
+    det.RecordWriteLatency(0, 2000000, /*busy_channel=*/5,
+                           /*busy_confirmed=*/false);
+    Baseline(det, 0, 50);  // settle back between spikes
+    EXPECT_EQ(det.ChannelOf(0), 0) << "corrected too early at vote " << i + 1;
+  }
+  det.RecordWriteLatency(0, 2000000, 5, false);
+  EXPECT_EQ(det.ChannelOf(0), 5);
+  EXPECT_EQ(det.stats().corrections, 1u);
+}
+
+TEST(ChannelDetector, ConfirmedBusyChannelShortCircuits) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);
+  Baseline(det, 0, 100);
+  // One spike suffices when the BUSY attribution came from a confirmed zone.
+  det.RecordWriteLatency(0, 2000000, 5, /*busy_confirmed=*/true);
+  EXPECT_EQ(det.ChannelOf(0), 5);
+  EXPECT_EQ(det.stats().confirmed_shortcuts, 1u);
+}
+
+TEST(ChannelDetector, NoVotesWithoutGc) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);
+  Baseline(det, 0, 100);
+  det.RecordWriteLatency(0, 5000000, /*busy_channel=*/-1, false);
+  EXPECT_EQ(det.stats().votes_cast, 0u);
+  EXPECT_EQ(det.ChannelOf(0), 0);
+}
+
+TEST(ChannelDetector, NoVoteWhenGuessAlreadyExplainsSpike) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);  // guess 0
+  Baseline(det, 0, 100);
+  det.RecordWriteLatency(0, 5000000, /*busy_channel=*/0, false);
+  EXPECT_EQ(det.stats().votes_cast, 0u);
+}
+
+TEST(ChannelDetector, ConfirmedZonesDontVote) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);
+  det.Confirm(0, 2);
+  Baseline(det, 0, 100);
+  det.RecordWriteLatency(0, 5000000, 5, false);
+  EXPECT_EQ(det.ChannelOf(0), 2);  // unchanged
+}
+
+TEST(ChannelDetector, NormalLatencyCastsNoVotes) {
+  ChannelDetector det(Config(), 32);
+  det.OnZoneOpened(0);
+  Baseline(det, 0, 100);
+  det.RecordWriteLatency(0, 110000, 5, false);  // barely above the EWMA
+  EXPECT_EQ(det.stats().spikes_observed, 0u);
+}
+
+TEST(ChannelDetector, MajorityVoteWins) {
+  ChannelDetectorConfig config = Config();
+  config.vote_threshold = 3;
+  ChannelDetector det(config, 32);
+  det.OnZoneOpened(0);  // guess 0
+  Baseline(det, 0, 100);
+  // One stray vote for channel 4, then three for channel 6: the correction
+  // must pick 6 (the mode).
+  det.RecordWriteLatency(0, 2000000, 4, false);
+  Baseline(det, 0, 50);
+  det.RecordWriteLatency(0, 2000000, 6, false);
+  Baseline(det, 0, 50);
+  det.RecordWriteLatency(0, 2000000, 6, false);
+  Baseline(det, 0, 50);
+  det.RecordWriteLatency(0, 2000000, 6, false);
+  EXPECT_EQ(det.ChannelOf(0), 6);
+}
+
+TEST(ChannelDetector, EwmaTracksLatency) {
+  ChannelDetector det(Config(), 32);
+  Baseline(det, 0, 200);
+  EXPECT_NEAR(det.latency_ewma(), 100000.0, 1000.0);
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,287 @@
+// Unit tests for src/common: status, RNG, histogram, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace biza {
+namespace {
+
+// ---------------------------------------------------------------- status --
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = WriteFailureError("lba 42 behind wptr");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kWriteFailure);
+  EXPECT_EQ(status.ToString(), "WRITE_FAILURE: lba 42 behind wptr");
+}
+
+TEST(Status, AllErrorFactories) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ZoneStateError("x").code(), ErrorCode::kZoneStateError);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("x").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kWriteFailure), "WRITE_FAILURE");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(NotFoundError("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      equal++;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, UniformStaysInBound) {
+  const uint64_t bound = GetParam();
+  Rng rng(7 + bound);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1 << 16,
+                                           1ULL << 40));
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(99);
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 80000; ++i) {
+    hist[rng.Uniform(8)]++;
+  }
+  ASSERT_EQ(hist.size(), 8u);
+  for (const auto& [value, count] : hist) {
+    EXPECT_GT(count, 8000) << "value " << value;
+    EXPECT_LT(count, 12000) << "value " << value;
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Chance(0.3)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(31);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 50.0, 1.5);
+}
+
+TEST(Zipf, SkewsTowardsLowRanks) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 100000; ++i) {
+    hist[zipf.Next()]++;
+  }
+  // Rank 0 must dominate rank 100 heavily under theta 0.99.
+  EXPECT_GT(hist[0], 20 * std::max(hist[100], 1));
+  for (const auto& [value, count] : hist) {
+    EXPECT_LT(value, 1000u);
+    (void)count;
+  }
+}
+
+TEST(Zipf, FlatterThetaIsLessSkewed) {
+  ZipfGenerator steep(1000, 0.99, 3);
+  ZipfGenerator flat(1000, 0.5, 3);
+  int steep_head = 0;
+  int flat_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    steep_head += steep.Next() < 10 ? 1 : 0;
+    flat_head += flat.Next() < 10 ? 1 : 0;
+  }
+  EXPECT_GT(steep_head, flat_head);
+}
+
+// ------------------------------------------------------------- histogram --
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.Record(215000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 215000u);
+  EXPECT_EQ(h.max(), 215000u);
+  // Bucketed percentile error must stay within ~2%.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 215000.0, 215000.0 * 0.02);
+}
+
+class HistogramPercentileTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPercentileTest, BucketErrorBounded) {
+  const uint64_t value = GetParam();
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(value);
+  }
+  const double p50 = static_cast<double>(h.Percentile(50));
+  EXPECT_NEAR(p50, static_cast<double>(value),
+              std::max(2.0, static_cast<double>(value) * 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HistogramPercentileTest,
+                         ::testing::Values(1, 17, 63, 64, 65, 127, 128, 1000,
+                                           4096, 59000, 1000000, 3500000,
+                                           1ULL << 33));
+
+TEST(Histogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    h.Record(rng.Uniform(1000000));
+  }
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Percentile(99.99));
+  EXPECT_LE(h.Percentile(99.99), h.max());
+  EXPECT_GE(h.Percentile(0), h.min());
+}
+
+TEST(Histogram, UniformMedianNearHalf) {
+  LatencyHistogram h;
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.Uniform(1000000));
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500000.0, 25000.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_NEAR(a.Mean(), 200.0, 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, TailPercentileFindsOutlier) {
+  LatencyHistogram h;
+  for (int i = 0; i < 9999; ++i) {
+    h.Record(100);
+  }
+  h.Record(1000000);  // one outlier in 10k = exactly the 99.99th
+  EXPECT_GT(h.Percentile(99.995), 500000u);
+  EXPECT_LT(h.Percentile(99), 200u);
+}
+
+// ----------------------------------------------------------------- units --
+
+TEST(Units, TransferNs) {
+  // 1 MB at 1000 MB/s = 1 ms.
+  EXPECT_EQ(TransferNs(1000000, 1000.0), 1000000u);
+  // 4 KiB at 2170 MB/s ~ 1.9 us.
+  EXPECT_NEAR(static_cast<double>(TransferNs(4096, 2170.0)), 1887.0, 10.0);
+}
+
+TEST(Units, ThroughputRoundTrip) {
+  const uint64_t bytes = 64 * kMiB;
+  const SimTime t = 100 * kMillisecond;
+  EXPECT_NEAR(ThroughputMBps(bytes, t), 671.0, 1.0);
+  EXPECT_EQ(ThroughputMBps(bytes, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace biza

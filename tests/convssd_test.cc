@@ -1,0 +1,161 @@
+// Tests of the conventional SSD model: FTL mapping, overwrites, internal GC
+// and its write amplification.
+#include <gtest/gtest.h>
+
+#include "src/convssd/conv_ssd.h"
+#include "src/sim/simulator.h"
+
+namespace biza {
+namespace {
+
+ConvSsdConfig SmallConfig() {
+  ConvSsdConfig config;
+  config.capacity_blocks = 16384;  // 64 MiB
+  config.pages_per_flash_block = 256;
+  config.over_provision = 0.15;
+  config.dispatch_jitter_ns = 0;
+  return config;
+}
+
+Status WriteSync(Simulator* sim, ConvSsd* dev, uint64_t lbn,
+                 std::vector<uint64_t> patterns,
+                 WriteTag tag = WriteTag::kData) {
+  Status out = InternalError("never completed");
+  dev->SubmitWrite(lbn, std::move(patterns),
+                   [&out](const Status& s) { out = s; }, tag);
+  sim->RunUntilIdle();
+  return out;
+}
+
+Result<std::vector<uint64_t>> ReadSync(Simulator* sim, ConvSsd* dev,
+                                       uint64_t lbn, uint64_t n) {
+  Status status = InternalError("never completed");
+  std::vector<uint64_t> patterns;
+  dev->SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+    status = s;
+    patterns = std::move(p);
+  });
+  sim->RunUntilIdle();
+  if (!status.ok()) {
+    return status;
+  }
+  return patterns;
+}
+
+TEST(ConvSsd, WriteReadRoundTrip) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  ASSERT_TRUE(WriteSync(&sim, &dev, 100, {7, 8, 9}).ok());
+  auto result = ReadSync(&sim, &dev, 100, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<uint64_t>{7, 8, 9}));
+}
+
+TEST(ConvSsd, UnmappedReadsZero) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  auto result = ReadSync(&sim, &dev, 5, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 0u);
+}
+
+TEST(ConvSsd, OverwriteReturnsLatest) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  for (uint64_t v = 0; v < 10; ++v) {
+    ASSERT_TRUE(WriteSync(&sim, &dev, 42, {v}).ok());
+  }
+  auto result = ReadSync(&sim, &dev, 42, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 9u);
+}
+
+TEST(ConvSsd, OutOfRangeRejected) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  EXPECT_EQ(WriteSync(&sim, &dev, 16384, {1}).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ReadSync(&sim, &dev, 16383, 2).status().code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST(ConvSsd, SequentialFillHasUnitWa) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  for (uint64_t lbn = 0; lbn < 16384; lbn += 64) {
+    ASSERT_TRUE(WriteSync(&sim, &dev, lbn, std::vector<uint64_t>(64, lbn)).ok());
+  }
+  EXPECT_EQ(dev.stats().gc_migrated_blocks, 0u);
+  EXPECT_DOUBLE_EQ(dev.stats().WriteAmplification(), 1.0);
+}
+
+TEST(ConvSsd, RandomOverwriteTriggersGcAndWaAboveOne) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  // Fill 80% of the LBA space (a 100% fill would thrash GC like a real FTL
+  // at full utilization), then overwrite randomly: GC must reclaim.
+  const uint64_t used = 16384 * 8 / 10;
+  for (uint64_t lbn = 0; lbn < used; lbn += 64) {
+    ASSERT_TRUE(WriteSync(&sim, &dev, lbn, std::vector<uint64_t>(64, 1)).ok());
+  }
+  Rng rng(4);
+  for (int i = 0; i < 2048; ++i) {
+    const uint64_t lbn = rng.Uniform(used - 8);
+    ASSERT_TRUE(WriteSync(&sim, &dev, lbn, std::vector<uint64_t>(8, 2)).ok());
+  }
+  EXPECT_GT(dev.stats().gc_runs, 0u);
+  EXPECT_GT(dev.stats().gc_migrated_blocks, 0u);
+  EXPECT_GT(dev.stats().WriteAmplification(), 1.0);
+  EXPECT_GT(dev.stats().erases, 0u);
+}
+
+TEST(ConvSsd, DataSurvivesGc) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  // Ground truth map under GC churn.
+  const uint64_t used = 16384 * 9 / 10;
+  std::vector<uint64_t> truth(used, 0);
+  for (uint64_t lbn = 0; lbn < used; ++lbn) {
+    truth[lbn] = lbn * 13 + 1;
+  }
+  for (uint64_t lbn = 0; lbn < used; lbn += 64) {
+    std::vector<uint64_t> patterns(64);
+    for (uint64_t i = 0; i < 64; ++i) {
+      patterns[i] = truth[lbn + i];
+    }
+    ASSERT_TRUE(WriteSync(&sim, &dev, lbn, std::move(patterns)).ok());
+  }
+  Rng rng(5);
+  for (int i = 0; i < 6000; ++i) {
+    const uint64_t lbn = rng.Uniform(used);
+    truth[lbn] = rng.Next();
+    ASSERT_TRUE(WriteSync(&sim, &dev, lbn, {truth[lbn]}).ok());
+  }
+  ASSERT_GT(dev.stats().gc_runs, 0u);
+  for (uint64_t lbn = 0; lbn < used; lbn += 97) {
+    auto result = ReadSync(&sim, &dev, lbn, 1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+TEST(ConvSsd, PerTagAccounting) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  ASSERT_TRUE(WriteSync(&sim, &dev, 0, {1, 2}, WriteTag::kParity).ok());
+  ASSERT_TRUE(WriteSync(&sim, &dev, 2, {3}, WriteTag::kData).ok());
+  EXPECT_EQ(dev.stats().flash_by_tag[static_cast<int>(WriteTag::kParity)], 2u);
+  EXPECT_EQ(dev.stats().flash_by_tag[static_cast<int>(WriteTag::kData)], 1u);
+}
+
+TEST(ConvSsd, ReadPatternSyncMatches) {
+  Simulator sim;
+  ConvSsd dev(&sim, SmallConfig());
+  ASSERT_TRUE(WriteSync(&sim, &dev, 9, {123}).ok());
+  auto pattern = dev.ReadPatternSync(9);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(*pattern, 123u);
+  EXPECT_EQ(dev.ReadPatternSync(10).status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace biza

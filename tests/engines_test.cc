@@ -1,0 +1,481 @@
+// Tests of the baseline engines: dm-zap, RAIZN, mdraid, and their stacks.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/engines/adapters.h"
+#include "src/engines/dmzap.h"
+#include "src/engines/mdraid.h"
+#include "src/engines/raizn.h"
+#include "src/sim/simulator.h"
+#include "src/zns/zns_device.h"
+
+namespace biza {
+namespace {
+
+ZnsConfig DevConfig(uint64_t seed = 1) {
+  ZnsConfig config = ZnsConfig::Zn540(/*num_zones=*/32, /*zone_cap=*/512);
+  config.seed = seed;
+  return config;
+}
+
+Status BlockWriteSync(Simulator* sim, BlockTarget* t, uint64_t lbn,
+                      std::vector<uint64_t> patterns,
+                      WriteTag tag = WriteTag::kData) {
+  Status out = InternalError("never completed");
+  t->SubmitWrite(lbn, std::move(patterns), [&](const Status& s) { out = s; },
+                 tag);
+  sim->RunUntilIdle();
+  return out;
+}
+
+Result<std::vector<uint64_t>> BlockReadSync(Simulator* sim, BlockTarget* t,
+                                            uint64_t lbn, uint64_t n) {
+  Status status = InternalError("never completed");
+  std::vector<uint64_t> out;
+  t->SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+    status = s;
+    out = std::move(p);
+  });
+  sim->RunUntilIdle();
+  if (!status.ok()) {
+    return status;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- dm-zap ----
+
+struct DmZapFixture {
+  Simulator sim;
+  std::unique_ptr<ZnsDevice> dev;
+  std::unique_ptr<ZnsZonedTarget> zoned;
+  std::unique_ptr<DmZap> dmzap;
+
+  explicit DmZapFixture(DmZapConfig config = {}) {
+    dev = std::make_unique<ZnsDevice>(&sim, DevConfig());
+    zoned = std::make_unique<ZnsZonedTarget>(dev.get());
+    dmzap = std::make_unique<DmZap>(&sim, zoned.get(), config);
+  }
+};
+
+TEST(DmZap, ExposesFractionOfCapacity) {
+  DmZapFixture f;
+  EXPECT_EQ(f.dmzap->capacity_blocks(),
+            static_cast<uint64_t>(32 * 512 * 0.80));
+}
+
+TEST(DmZap, RandomWriteReadRoundTrip) {
+  DmZapFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), 1000, {5, 6, 7}).ok());
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), 10, {1}).ok());
+  auto r = BlockReadSync(&f.sim, f.dmzap.get(), 1000, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{5, 6, 7}));
+}
+
+TEST(DmZap, OverwriteInvalidatesOldMapping) {
+  DmZapFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), 42, {1}).ok());
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), 42, {2}).ok());
+  auto r = BlockReadSync(&f.sim, f.dmzap.get(), 42, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 2u);
+}
+
+TEST(DmZap, NeverTriggersDeviceWriteFailures) {
+  // dm-zap's one-in-flight-per-zone discipline must make every device write
+  // sequential even under dispatch jitter.
+  DmZapFixture f;
+  Rng rng(9);
+  int pending = 0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t lbn = rng.Uniform(f.dmzap->capacity_blocks() - 8);
+    pending++;
+    f.dmzap->SubmitWrite(lbn, std::vector<uint64_t>(8, rng.Next()),
+                         [&pending](const Status& s) {
+                           EXPECT_TRUE(s.ok());
+                           pending--;
+                         },
+                         WriteTag::kData);
+  }
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(f.dev->stats().write_failures, 0u);
+}
+
+TEST(DmZap, GcReclaimsInvalidatedSpace) {
+  DmZapConfig config;
+  config.exposed_capacity_ratio = 0.70;
+  DmZapFixture f(config);
+  // Interleave a hot region (overwritten, creating garbage) with cold
+  // blocks (staying valid) so GC victims carry valid data to migrate.
+  Rng rng(3);
+  const uint64_t region = 2048;
+  for (int round = 0; round < 20; ++round) {
+    for (uint64_t lbn = 0; lbn < region; lbn += 64) {
+      ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), lbn,
+                                 std::vector<uint64_t>(64, rng.Next()))
+                      .ok());
+      // One cold block per 64 hot: lives forever, rides along in victims.
+      const uint64_t cold = 4096 + (lbn / 64) + round * 32;
+      ASSERT_TRUE(BlockWriteSync(&f.sim, f.dmzap.get(), cold, {1}).ok());
+    }
+  }
+  EXPECT_GT(f.dmzap->stats().gc_zone_resets, 0u);
+  EXPECT_GT(f.dmzap->stats().gc_migrated_blocks, 0u);
+}
+
+TEST(DmZap, SpinlockCpuChargedForQueueing) {
+  DmZapFixture f;
+  // Concurrent writes to few zones queue behind the single in-flight slot;
+  // queue time is charged as dm-zap CPU burn (§5.7).
+  for (int i = 0; i < 64; ++i) {
+    f.dmzap->SubmitWrite(static_cast<uint64_t>(i) * 8,
+                         std::vector<uint64_t>(8, 1), [](const Status&) {},
+                         WriteTag::kData);
+  }
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.dmzap->cpu().of("dmzap"), 100 * kMicrosecond);
+}
+
+// --------------------------------------------------------------- RAIZN ----
+
+struct RaiznFixture {
+  Simulator sim;
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::unique_ptr<Raizn> raizn;
+
+  explicit RaiznFixture(RaiznConfig config = {}) {
+    std::vector<ZnsDevice*> ptrs;
+    for (int d = 0; d < 4; ++d) {
+      devs.push_back(std::make_unique<ZnsDevice>(
+          &sim, DevConfig(static_cast<uint64_t>(d) + 1)));
+      ptrs.push_back(devs.back().get());
+    }
+    raizn = std::make_unique<Raizn>(&sim, ptrs, config);
+  }
+
+  Status ZoneWriteSync(uint32_t zone, uint64_t offset,
+                       std::vector<uint64_t> patterns) {
+    Status out = InternalError("never completed");
+    raizn->SubmitZoneWrite(zone, offset, std::move(patterns),
+                           [&](const Status& s) { out = s; }, WriteTag::kData);
+    sim.RunUntilIdle();
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> ZoneReadSync(uint32_t zone, uint64_t offset,
+                                             uint64_t n) {
+    Status status = InternalError("never completed");
+    std::vector<uint64_t> out;
+    raizn->SubmitZoneRead(zone, offset, n,
+                          [&](const Status& s, std::vector<uint64_t> p) {
+                            status = s;
+                            out = std::move(p);
+                          });
+    sim.RunUntilIdle();
+    if (!status.ok()) {
+      return status;
+    }
+    return out;
+  }
+};
+
+TEST(Raizn, GeometryReservesMetadataZones) {
+  RaiznFixture f;
+  EXPECT_EQ(f.raizn->num_zones(), 30u);  // 32 - 2 metadata zones
+  EXPECT_EQ(f.raizn->zone_capacity_blocks(), 512u * 3);  // k = 3
+}
+
+TEST(Raizn, SequentialWriteReadRoundTrip) {
+  RaiznFixture f;
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 48; ++i) {
+    data.push_back(i * 3 + 1);
+  }
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, data).ok());
+  auto r = f.ZoneReadSync(0, 0, 48);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+TEST(Raizn, NonSequentialWriteRejected) {
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {1}).ok());
+  EXPECT_EQ(f.ZoneWriteSync(0, 5, {2}).code(), ErrorCode::kWriteFailure);
+}
+
+TEST(Raizn, FullStripesWriteFinalParity) {
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {1, 2, 3, 4, 5, 6}).ok());  // 2 stripes
+  EXPECT_EQ(f.raizn->stats().parity_written_blocks, 2u);
+  EXPECT_EQ(f.raizn->stats().pp_written_blocks, 0u);  // no partial tail
+}
+
+TEST(Raizn, PartialStripePersistsPartialParity) {
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {1, 2}).ok());  // 2 of k=3 blocks
+  EXPECT_EQ(f.raizn->stats().pp_written_blocks, 1u);
+  EXPECT_EQ(f.raizn->stats().parity_written_blocks, 0u);
+  // Completing the stripe writes the final parity.
+  ASSERT_TRUE(f.ZoneWriteSync(0, 2, {3}).ok());
+  EXPECT_EQ(f.raizn->stats().parity_written_blocks, 1u);
+}
+
+TEST(Raizn, ParityBufferAbsorbsPartialParities) {
+  RaiznConfig config;
+  config.parity_buffer_entries = 1024;
+  RaiznFixture f(config);
+  // Single-block writes issued back-to-back (chained on completion, without
+  // draining the compensation-flush timer): every write updates the tail
+  // PP in DRAM; the PPs die in the buffer when their stripes seal.
+  uint64_t next = 0;
+  std::function<void()> chain = [&]() {
+    if (next >= 30) {
+      return;
+    }
+    const uint64_t i = next++;
+    f.raizn->SubmitZoneWrite(0, i, {i},
+                             [&](const Status& s) {
+                               EXPECT_TRUE(s.ok());
+                               chain();
+                             },
+                             WriteTag::kData);
+  };
+  chain();
+  f.sim.RunFor(10 * kMillisecond);  // writes finish; 30 ms sweep not yet due
+  EXPECT_GT(f.raizn->stats().pp_absorbed, 0u);
+  EXPECT_EQ(f.raizn->stats().pp_written_blocks, 0u);
+  EXPECT_EQ(f.raizn->stats().parity_written_blocks, 10u);
+  f.sim.RunUntilIdle();  // drain the sweep before teardown
+}
+
+TEST(Raizn, ParityEnablesReconstruction) {
+  // The parity written for a sealed stripe must XOR-reconstruct any member.
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {0xA, 0xB, 0xC}).ok());
+  // Stripe 0 lives at in-zone offset 0 of physical zone 0 on all devices;
+  // parity drive for global stripe 0 is drive 3 (left-asymmetric).
+  uint64_t xor_all = 0;
+  for (int d = 0; d < 4; ++d) {
+    auto pattern = f.devs[static_cast<size_t>(d)]->ReadPatternSync(0, 0);
+    ASSERT_TRUE(pattern.ok()) << "device " << d;
+    xor_all ^= *pattern;
+  }
+  EXPECT_EQ(xor_all, 0u);  // data ^ parity == 0 for XOR parity
+}
+
+TEST(Raizn, MetadataZonePingPongs) {
+  RaiznConfig config;
+  RaiznFixture f(config);
+  // Drive enough partial-stripe writes that ONE device's 512-block
+  // metadata zone fills (PPs rotate across the 4 devices with stripe
+  // parity, so ~4 * 512 / (2/3) writes are needed). Four zones round-robin.
+  uint64_t off[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4400; ++i) {
+    const uint32_t zone = static_cast<uint32_t>(i % 4);
+    ASSERT_TRUE(
+        f.ZoneWriteSync(zone, off[zone], {static_cast<uint64_t>(i)}).ok());
+    off[zone]++;
+  }
+  EXPECT_GT(f.raizn->stats().pp_written_blocks, 2048u);
+  EXPECT_GT(f.raizn->stats().md_zone_resets, 0u);
+}
+
+TEST(Raizn, ResetZoneClearsAllDevices) {
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {1, 2, 3}).ok());
+  ASSERT_TRUE(f.raizn->ResetZone(0).ok());
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {9}).ok());  // sequential from 0 again
+  auto r = f.ZoneReadSync(0, 0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 9u);
+}
+
+TEST(Raizn, FinishSealsPartialTail) {
+  RaiznFixture f;
+  ASSERT_TRUE(f.ZoneWriteSync(0, 0, {1, 2}).ok());
+  ASSERT_TRUE(f.raizn->FinishZone(0).ok());
+  f.sim.RunUntilIdle();
+  // Tail parity written; subsequent writes rejected.
+  EXPECT_EQ(f.raizn->stats().parity_written_blocks, 1u);
+  EXPECT_EQ(f.ZoneWriteSync(0, 2, {3}).code(), ErrorCode::kWriteFailure);
+}
+
+// -------------------------------------------------------------- mdraid ----
+
+struct MdraidFixture {
+  Simulator sim;
+  std::vector<std::unique_ptr<ConvSsd>> devs;
+  std::vector<std::unique_ptr<ConvSsdTarget>> targets;
+  std::unique_ptr<Mdraid> mdraid;
+
+  explicit MdraidFixture(MdraidConfig config = {}) {
+    std::vector<BlockTarget*> children;
+    for (int d = 0; d < 4; ++d) {
+      ConvSsdConfig cc;
+      cc.capacity_blocks = 8192;
+      cc.pages_per_flash_block = 256;
+      cc.seed = static_cast<uint64_t>(d) + 1;
+      devs.push_back(std::make_unique<ConvSsd>(&sim, cc));
+      targets.push_back(std::make_unique<ConvSsdTarget>(devs.back().get()));
+      children.push_back(targets.back().get());
+    }
+    mdraid = std::make_unique<Mdraid>(&sim, children, config);
+  }
+};
+
+TEST(Mdraid, CapacityIsDataDrives) {
+  MdraidFixture f;
+  EXPECT_EQ(f.mdraid->capacity_blocks(), 8192u * 3);
+}
+
+TEST(Mdraid, WriteReadThroughCache) {
+  MdraidFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 100, {1, 2, 3, 4}).ok());
+  auto r = BlockReadSync(&f.sim, f.mdraid.get(), 100, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Mdraid, FlushBuffersPersistsDirtyStripes) {
+  MdraidFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0,
+                             std::vector<uint64_t>(48, 7))
+                  .ok());
+  bool flushed = false;
+  f.mdraid->FlushBuffers([&flushed]() { flushed = true; });
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(flushed);
+  EXPECT_EQ(f.mdraid->dirty_blocks(), 0u);
+  EXPECT_GT(f.mdraid->stats().flushed_data_blocks, 0u);
+  EXPECT_GT(f.mdraid->stats().flushed_parity_blocks, 0u);
+  // Data persisted on the children and still readable.
+  auto r = BlockReadSync(&f.sim, f.mdraid.get(), 0, 48);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[13], 7u);
+}
+
+TEST(Mdraid, FullStripeWritesAvoidRmwReads) {
+  MdraidFixture f;
+  // 48 blocks = 16 full stripes (k = 3), aligned.
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0,
+                             std::vector<uint64_t>(48, 1))
+                  .ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.mdraid->stats().rmw_read_blocks, 0u);
+  EXPECT_GT(f.mdraid->stats().full_stripe_flushes, 0u);
+}
+
+TEST(Mdraid, PartialStripeWritesUseReconstructWrite) {
+  MdraidFixture f;
+  // Prime the stripe with known data, flush, then dirty one block of it.
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {1, 2, 3}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 1, {99}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.mdraid->stats().partial_stripe_flushes, 0u);
+  EXPECT_GT(f.mdraid->stats().rmw_read_blocks, 0u);
+}
+
+TEST(Mdraid, ParityConsistentAfterPartialFlush) {
+  MdraidFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {1, 2, 3}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 1, {99}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  // XOR of the three data children and the parity child must be zero.
+  // Stripe 0: data drives 0..2 at offset 0, parity drive 3.
+  uint64_t xor_all = 0;
+  for (int d = 0; d < 4; ++d) {
+    auto pattern = f.devs[static_cast<size_t>(d)]->ReadPatternSync(0);
+    ASSERT_TRUE(pattern.ok());
+    xor_all ^= *pattern;
+  }
+  EXPECT_EQ(xor_all, 0u);
+}
+
+TEST(Mdraid, DegradedReadReconstructs) {
+  MdraidFixture f;
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {11, 22, 33}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  // Fail the child holding lbn 1 (stripe 0, slot 1 -> drive 1).
+  f.mdraid->SetChildFailed(1, true);
+  auto r = BlockReadSync(&f.sim, f.mdraid.get(), 1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 22u);
+}
+
+TEST(Mdraid, DegradedRandomReadsAllReconstruct) {
+  MdraidFixture f;
+  Rng rng(6);
+  std::vector<uint64_t> truth(3000);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next();
+  }
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 50) {
+    std::vector<uint64_t> chunk(truth.begin() + static_cast<long>(lbn),
+                                truth.begin() + static_cast<long>(lbn + 50));
+    ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), lbn, std::move(chunk)).ok());
+  }
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  f.mdraid->SetChildFailed(2, true);
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 83) {
+    auto r = BlockReadSync(&f.sim, f.mdraid.get(), lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+TEST(Mdraid, TimerFlushPersistsWithoutExplicitFlush) {
+  MdraidConfig config;
+  config.flush_interval_ns = 2 * kMillisecond;
+  MdraidFixture f(config);
+  // Submit without draining (RunUntilIdle would fast-forward the timer).
+  bool done = false;
+  f.mdraid->SubmitWrite(0, {1, 2, 3}, [&done](const Status& s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  }, WriteTag::kData);
+  f.sim.RunFor(500 * kMicrosecond);
+  EXPECT_TRUE(done);
+  EXPECT_GT(f.mdraid->dirty_blocks(), 0u);  // timer (2 ms) not fired yet
+  f.sim.RunFor(20 * kMillisecond);
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.mdraid->dirty_blocks(), 0u);
+}
+
+TEST(Mdraid, StripeCacheAbsorbsHotOverwrites) {
+  MdraidConfig config;
+  config.flush_interval_ns = 100 * kMillisecond;  // far beyond the test span
+  MdraidFixture f(config);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.mdraid->SubmitWrite(5, {static_cast<uint64_t>(i)},
+                          [&completed](const Status& s) {
+                            EXPECT_TRUE(s.ok());
+                            completed++;
+                          },
+                          WriteTag::kData);
+    f.sim.RunFor(10 * kMicrosecond);
+  }
+  f.sim.RunFor(kMillisecond);
+  EXPECT_EQ(completed, 100);
+  // All hits coalesced in the cache: nothing flushed yet.
+  EXPECT_EQ(f.mdraid->stats().flushed_data_blocks, 0u);
+  EXPECT_EQ(f.mdraid->dirty_blocks(), 1u);
+  f.sim.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,210 @@
+// Tests of the ghost-cache chunk classifier (§4.2): LRU admission, HR/HP
+// promotion rules, eviction policies, and attribute prediction.
+#include <gtest/gtest.h>
+
+#include "src/biza/ghost_cache.h"
+#include "src/common/rng.h"
+
+namespace biza {
+namespace {
+
+GhostCacheConfig SmallConfig() {
+  GhostCacheConfig config;
+  config.lru_entries = 64;
+  config.hr_entries = 16;
+  config.hp_entries = 4;
+  config.promote_reaccess = 3;
+  config.hp_reuse_threshold = 100;
+  return config;
+}
+
+TEST(GhostCache, FirstWriteIsTrivial) {
+  GhostCache cache(SmallConfig());
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);
+  EXPECT_EQ(cache.TierOf(1), ChunkTier::kTrivial);
+  EXPECT_EQ(cache.tracked_entries(), 1u);
+}
+
+TEST(GhostCache, PromotionAtReaccessThreshold) {
+  GhostCache cache(SmallConfig());
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);  // reaccess 0
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);  // reaccess 1
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);  // reaccess 2
+  // Third reaccess crosses the threshold; reuse distance is tiny so the
+  // chunk goes straight to high-profit.
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kHighProfit);
+  EXPECT_EQ(cache.stats().hr_promotions, 1u);
+  EXPECT_EQ(cache.stats().hp_promotions, 1u);
+}
+
+TEST(GhostCache, LongReuseDistanceStaysHighRevenue) {
+  GhostCacheConfig config = SmallConfig();
+  config.lru_entries = 10000;
+  GhostCache cache(config);
+  // Interleave key 1 with 500 UNIQUE writes per round so its reuse
+  // distance is ~500, far above the HP threshold (100). Unique fillers
+  // never get promoted themselves, so key 1 stays resident in HR.
+  for (int round = 0; round < 5; ++round) {
+    cache.OnWrite(1);
+    for (uint64_t f = 0; f < 500; ++f) {
+      cache.OnWrite(1000 + static_cast<uint64_t>(round) * 500 + f);
+    }
+  }
+  EXPECT_EQ(cache.TierOf(1), ChunkTier::kHighRevenue);
+}
+
+TEST(GhostCache, HrPromotesToHpWhenReuseShrinks) {
+  GhostCacheConfig config = SmallConfig();
+  config.lru_entries = 10000;
+  GhostCache cache(config);
+  for (int round = 0; round < 5; ++round) {
+    cache.OnWrite(1);
+    for (uint64_t f = 0; f < 500; ++f) {
+      cache.OnWrite(1000 + static_cast<uint64_t>(round) * 500 + f);
+    }
+  }
+  ASSERT_EQ(cache.TierOf(1), ChunkTier::kHighRevenue);
+  // Now the chunk turns hot: short-reuse writes pull the EWMA down until
+  // it crosses the HP threshold.
+  ChunkTier tier = ChunkTier::kHighRevenue;
+  for (int i = 0; i < 12 && tier != ChunkTier::kHighProfit; ++i) {
+    tier = cache.OnWrite(1);
+  }
+  EXPECT_EQ(tier, ChunkTier::kHighProfit);
+}
+
+TEST(GhostCache, LruEvictsForgetsCold) {
+  GhostCacheConfig config = SmallConfig();
+  config.lru_entries = 8;
+  GhostCache cache(config);
+  cache.OnWrite(1);
+  for (uint64_t k = 100; k < 120; ++k) {
+    cache.OnWrite(k);  // push key 1 off the LRU tail
+  }
+  // Key 1 was forgotten: writing it again starts from scratch.
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);
+  EXPECT_EQ(cache.OnWrite(1), ChunkTier::kTrivial);
+}
+
+TEST(GhostCache, HpEvictsMaxReuseDistance) {
+  GhostCacheConfig config = SmallConfig();
+  config.hp_entries = 2;
+  config.hp_reuse_threshold = 1000000;  // everything qualifies for HP
+  config.lru_entries = 10000;
+  GhostCache cache(config);
+  // Three keys promoted to HP; capacity 2 evicts the max-reuse one.
+  // Key 3 gets the longest reuse distance.
+  for (int round = 0; round < 4; ++round) {
+    cache.OnWrite(1);
+    cache.OnWrite(2);
+    cache.OnWrite(3);
+    for (uint64_t filler = 500 + static_cast<uint64_t>(round) * 100,
+                  end = filler + 50;
+         filler < end; ++filler) {
+      cache.OnWrite(filler);  // inflate key 3's... all equally.
+    }
+  }
+  // All three qualified; HP holds 2; one was demoted to HR.
+  int hp_count = 0;
+  for (uint64_t k : {1, 2, 3}) {
+    if (cache.TierOf(k) == ChunkTier::kHighProfit) {
+      hp_count++;
+    }
+  }
+  EXPECT_EQ(hp_count, 2);
+  EXPECT_GE(cache.stats().hr_demotions, 1u);
+}
+
+TEST(GhostCache, HrEvictsMinReaccess) {
+  GhostCacheConfig config = SmallConfig();
+  config.hr_entries = 2;
+  config.hp_entries = 1;
+  config.hp_reuse_threshold = 0;  // nothing reaches HP (reuse always > 0)
+  config.lru_entries = 10000;
+  GhostCache cache(config);
+  // Key 1 is reaccessed many times, keys 2 and 3 just cross the threshold.
+  for (int i = 0; i < 10; ++i) {
+    cache.OnWrite(1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    cache.OnWrite(2);
+  }
+  for (int i = 0; i < 4; ++i) {
+    cache.OnWrite(3);
+  }
+  // HR capacity 2: the min-reaccess member (2 or 3) was demoted; key 1
+  // with the highest count stays.
+  EXPECT_EQ(cache.TierOf(1), ChunkTier::kHighRevenue);
+  EXPECT_GE(cache.stats().lru_demotions, 1u);
+}
+
+TEST(GhostCache, ClockAdvancesPerWrite) {
+  GhostCache cache(SmallConfig());
+  EXPECT_EQ(cache.clock(), 0u);
+  cache.OnWrite(1);
+  cache.OnWrite(2);
+  EXPECT_EQ(cache.clock(), 2u);
+}
+
+TEST(GhostCache, StatsCountLookups) {
+  GhostCache cache(SmallConfig());
+  cache.OnWrite(1);
+  cache.OnWrite(1);
+  cache.OnWrite(2);
+  EXPECT_EQ(cache.stats().lookups, 3u);
+  EXPECT_EQ(cache.stats().lru_hits, 1u);
+}
+
+// Property: a zipf-hot workload promotes its head into HP while the cold
+// tail stays trivial — the behaviour the zone group selector relies on.
+TEST(GhostCache, ZipfHeadLandsInHp) {
+  GhostCacheConfig config;
+  config.lru_entries = 4096;
+  config.hr_entries = 512;
+  config.hp_entries = 64;
+  config.promote_reaccess = 3;
+  config.hp_reuse_threshold = 2000;
+  GhostCache cache(config);
+  ZipfGenerator zipf(1024, 0.99, 9);
+  for (int i = 0; i < 100000; ++i) {
+    cache.OnWrite(zipf.Next());
+  }
+  // The hottest keys must be high-profit.
+  int head_hp = 0;
+  for (uint64_t k = 0; k < 8; ++k) {
+    if (cache.TierOf(k) == ChunkTier::kHighProfit) {
+      head_hp++;
+    }
+  }
+  EXPECT_GE(head_hp, 6);
+  EXPECT_GT(cache.stats().hp_promotions, 0u);
+}
+
+// Property sweep: tier transitions only move along trivial -> HR -> HP for
+// a strictly hot key (no spurious demotion without cache pressure).
+class GhostMonotonicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhostMonotonicTest, HotKeyNeverDemotesWithoutPressure) {
+  GhostCacheConfig config = SmallConfig();
+  config.hp_entries = 64;
+  config.hr_entries = 64;
+  GhostCache cache(config);
+  const int interleave = GetParam();
+  int best = 0;  // 0 trivial, 1 HR, 2 HP
+  for (int i = 0; i < 300; ++i) {
+    const ChunkTier tier = cache.OnWrite(42);
+    for (int f = 0; f < interleave; ++f) {
+      cache.OnWrite(1000 + static_cast<uint64_t>(i * interleave + f));
+    }
+    const int rank = static_cast<int>(tier);
+    EXPECT_GE(rank, best) << "demoted at write " << i;
+    best = std::max(best, rank);
+  }
+  EXPECT_EQ(best, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Interleaves, GhostMonotonicTest,
+                         ::testing::Values(0, 1, 5, 20));
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,127 @@
+// Tests for the metrics helpers (CPU accounts, WA breakdowns) and the
+// device adapters.
+#include <gtest/gtest.h>
+
+#include "src/engines/adapters.h"
+#include "src/metrics/cpu_account.h"
+#include "src/metrics/wa_report.h"
+#include "src/sim/simulator.h"
+
+namespace biza {
+namespace {
+
+TEST(CpuAccount, ChargesAccumulatePerComponent) {
+  CpuAccount account;
+  account.Charge("dmzap", 1000);
+  account.Charge("dmzap", 500);
+  account.Charge("io", 300);
+  EXPECT_EQ(account.of("dmzap"), 1500u);
+  EXPECT_EQ(account.of("io"), 300u);
+  EXPECT_EQ(account.of("unknown"), 0u);
+  EXPECT_EQ(account.total(), 1800u);
+}
+
+TEST(CpuAccount, UsagePercent) {
+  CpuAccount account;
+  account.Charge("x", 500000);  // 0.5 ms of CPU over a 1 ms interval = 50%
+  EXPECT_DOUBLE_EQ(account.UsagePercent(1000000), 50.0);
+  EXPECT_DOUBLE_EQ(account.UsagePercent(0), 0.0);
+}
+
+TEST(CpuAccount, ResetClears) {
+  CpuAccount account;
+  account.Charge("x", 100);
+  account.Reset();
+  EXPECT_EQ(account.total(), 0u);
+  EXPECT_TRUE(account.accounts().empty());
+}
+
+TEST(WaBreakdown, RatiosNormalizeByUserBlocks) {
+  WaBreakdown wa;
+  wa.user_blocks = 1000;
+  wa.flash_data = 800;
+  wa.flash_parity = 300;
+  EXPECT_DOUBLE_EQ(wa.DataRatio(), 0.8);
+  EXPECT_DOUBLE_EQ(wa.ParityRatio(), 0.3);
+  EXPECT_DOUBLE_EQ(wa.TotalRatio(), 1.1);
+  EXPECT_EQ(wa.flash_total(), 1100u);
+}
+
+TEST(WaBreakdown, AddDeviceTagsClassifies) {
+  WaBreakdown wa;
+  wa.user_blocks = 10;
+  uint64_t tags[kNumWriteTags] = {};
+  tags[static_cast<int>(WriteTag::kData)] = 5;
+  tags[static_cast<int>(WriteTag::kGcData)] = 2;
+  tags[static_cast<int>(WriteTag::kParity)] = 3;
+  tags[static_cast<int>(WriteTag::kGcParity)] = 1;
+  tags[static_cast<int>(WriteTag::kMeta)] = 4;
+  wa.AddDeviceTags(tags);
+  EXPECT_EQ(wa.flash_data, 7u);    // data + GC-migrated data
+  EXPECT_EQ(wa.flash_parity, 4u);  // parity + GC-migrated parity
+  EXPECT_EQ(wa.flash_meta, 4u);
+}
+
+TEST(WaBreakdown, ZeroUserBlocksIsSafe) {
+  WaBreakdown wa;
+  EXPECT_DOUBLE_EQ(wa.TotalRatio(), 0.0);
+}
+
+TEST(ZnsZonedTargetAdapter, ForwardsGeometryAndWrites) {
+  Simulator sim;
+  ZnsConfig config = ZnsConfig::Zn540(/*num_zones=*/8, /*zone_cap=*/128);
+  config.dispatch_jitter_ns = 0;
+  ZnsDevice dev(&sim, config);
+  ZnsZonedTarget target(&dev);
+  EXPECT_EQ(target.num_zones(), 8u);
+  EXPECT_EQ(target.zone_capacity_blocks(), 128u);
+  EXPECT_EQ(target.max_open_zones(), 14);
+
+  Status status = InternalError("x");
+  target.SubmitZoneWrite(0, 0, {1, 2}, [&](const Status& s) { status = s; },
+                         WriteTag::kParity);
+  sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  // The tag travelled into the device's per-tag accounting.
+  EXPECT_EQ(dev.stats().flash_by_tag[static_cast<int>(WriteTag::kParity)], 2u);
+
+  std::vector<uint64_t> out;
+  target.SubmitZoneRead(0, 0, 2, [&](const Status& s, std::vector<uint64_t> p) {
+    status = s;
+    out = std::move(p);
+  });
+  sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{1, 2}));
+
+  EXPECT_TRUE(target.ResetZone(0).ok());
+  EXPECT_EQ(dev.Report(0).state, ZoneState::kEmpty);
+}
+
+TEST(ConvSsdTargetAdapter, ForwardsCapacityAndIo) {
+  Simulator sim;
+  ConvSsdConfig config;
+  config.capacity_blocks = 4096;
+  config.pages_per_flash_block = 128;
+  config.dispatch_jitter_ns = 0;
+  ConvSsd dev(&sim, config);
+  ConvSsdTarget target(&dev);
+  EXPECT_EQ(target.capacity_blocks(), 4096u);
+
+  Status status = InternalError("x");
+  target.SubmitWrite(77, {9}, [&](const Status& s) { status = s; },
+                     WriteTag::kData);
+  sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  std::vector<uint64_t> out;
+  target.SubmitRead(77, 1, [&](const Status& s, std::vector<uint64_t> p) {
+    status = s;
+    out = std::move(p);
+  });
+  sim.RunUntilIdle();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(out.at(0), 9u);
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,177 @@
+// Tests of the three-stage NAND pipeline model — the calibrated behaviours
+// every experiment rests on: single-writer latency, channel-bound zone
+// bandwidth, inter-channel parallelism, and buffer-path bypass.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/nand/nand_backend.h"
+#include "src/sim/simulator.h"
+
+namespace biza {
+namespace {
+
+NandTimingConfig DefaultTiming() { return NandTimingConfig{}; }
+
+TEST(NandBackend, SingleWriteLatencyIsPipelineSum) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const NandTimingConfig& t = nand.config();
+  const uint64_t bytes = 64 * kKiB;
+  const SimTime done = nand.Write(0, bytes);
+  // One idle write: controller + channel transfer + ack (die program is
+  // off the completion path — writes ack from the buffer).
+  const SimTime expected = t.ctrl_fixed_ns + TransferNs(bytes, t.ctrl_write_mbps) +
+                           t.chan_fixed_ns + TransferNs(bytes, t.chan_write_mbps) +
+                           t.write_ack_ns;
+  EXPECT_EQ(done, expected);
+}
+
+TEST(NandBackend, SustainedSingleChannelIsChannelBound) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const uint64_t bytes = 64 * kKiB;
+  SimTime last = 0;
+  constexpr int kWrites = 2000;
+  for (int i = 0; i < kWrites; ++i) {
+    last = nand.Write(0, bytes);
+  }
+  const double mbps = ThroughputMBps(kWrites * bytes, last);
+  // Saturated single channel ~ chan_write_mbps (1100), within 15%.
+  EXPECT_GT(mbps, 900.0);
+  EXPECT_LT(mbps, 1200.0);
+}
+
+TEST(NandBackend, TwoChannelsDoubleThroughput) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const uint64_t bytes = 64 * kKiB;
+  SimTime last = 0;
+  constexpr int kWrites = 2000;
+  for (int i = 0; i < kWrites; ++i) {
+    last = std::max(last, nand.Write(i % 2, bytes));
+  }
+  const double mbps = ThroughputMBps(kWrites * bytes, last);
+  EXPECT_GT(mbps, 1800.0);  // ~2x one channel, capped by the controller
+}
+
+TEST(NandBackend, ManyChannelsHitControllerCap) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const uint64_t bytes = 64 * kKiB;
+  SimTime last = 0;
+  constexpr int kWrites = 4000;
+  for (int i = 0; i < kWrites; ++i) {
+    last = std::max(last, nand.Write(i % 8, bytes));
+  }
+  const double mbps = ThroughputMBps(kWrites * bytes, last);
+  // The device-wide cap is the controller: 2170 MB/s (ZN540 write).
+  EXPECT_GT(mbps, 1900.0);
+  EXPECT_LT(mbps, 2300.0);
+}
+
+TEST(NandBackend, SmallWritesAreDieLimited) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  SimTime last = 0;
+  constexpr int kWrites = 4000;
+  for (int i = 0; i < kWrites; ++i) {
+    last = nand.Write(0, kBlockSize);
+  }
+  const double mbps = ThroughputMBps(kWrites * kBlockSize, last);
+  // 4 KiB programs pay the fixed die cost: well under the channel rate.
+  EXPECT_LT(mbps, 700.0);
+  EXPECT_GT(mbps, 200.0);
+}
+
+TEST(NandBackend, BufferWriteBypassesChannels) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const SimTime done = nand.BufferWrite(4 * kKiB);
+  EXPECT_LT(done, 15 * kMicrosecond);
+  EXPECT_EQ(nand.channel_stats(0).bytes_written, 0u);
+}
+
+TEST(NandBackend, BufferWritesShareControllerWithFlashWrites) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  // Saturate the controller with buffer writes; a flash write must queue.
+  for (int i = 0; i < 1000; ++i) {
+    nand.BufferWrite(64 * kKiB);
+  }
+  const SimTime flash_done = nand.Write(0, 4 * kKiB);
+  EXPECT_GT(flash_done, 20 * kMillisecond);
+}
+
+TEST(NandBackend, ReadsAndWritesUseSeparateControllerPorts) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  for (int i = 0; i < 1000; ++i) {
+    nand.BufferWrite(64 * kKiB);  // saturate write port
+  }
+  const SimTime read_done = nand.Read(1, 4 * kKiB);
+  EXPECT_LT(read_done, 100 * kMicrosecond);  // read port unaffected
+}
+
+TEST(NandBackend, EraseOccupiesWholeChannel) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const SimTime erase_done = nand.Erase(0);
+  EXPECT_EQ(erase_done, nand.config().die_erase_ns);
+  // Another channel is unaffected by the erase...
+  const SimTime read_other = nand.Read(1, 4 * kKiB);
+  EXPECT_LT(read_other, 100 * kMicrosecond);
+  // ...while a read on the erased channel queues behind it.
+  const SimTime read_same = nand.Read(0, 4 * kKiB);
+  EXPECT_GT(read_same, nand.config().die_erase_ns);
+}
+
+TEST(NandBackend, BackgroundProgramConsumesChannel) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  for (int i = 0; i < 100; ++i) {
+    nand.BackgroundProgram(0, 64 * kKiB);
+  }
+  // Channel 0 is congested for subsequent work on it.
+  const SimTime read_done = nand.Read(0, 4 * kKiB);
+  EXPECT_GT(read_done, kMillisecond);
+  EXPECT_GT(nand.channel_stats(0).bus_busy_ns, kMillisecond);
+}
+
+TEST(NandBackend, ChannelStatsAccumulate) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  nand.Write(2, 8 * kKiB);
+  nand.Read(2, 16 * kKiB);
+  EXPECT_EQ(nand.channel_stats(2).bytes_written, 8 * kKiB);
+  EXPECT_EQ(nand.channel_stats(2).bytes_read, 16 * kKiB);
+  EXPECT_EQ(nand.channel_stats(3).bytes_written, 0u);
+}
+
+// Reproduces the §3.2 premise: a single in-flight writer achieves only a
+// fraction of the zone's (channel's) saturated bandwidth.
+TEST(NandBackend, OneInflightWriterLosesHalfTheBandwidth) {
+  Simulator sim;
+  NandBackend nand(&sim, DefaultTiming());
+  const uint64_t bytes = 64 * kKiB;
+  // Serial: wait for each completion before the next submission.
+  SimTime now = 0;
+  constexpr int kWrites = 500;
+  for (int i = 0; i < kWrites; ++i) {
+    sim.RunUntil(now);
+    now = nand.Write(0, bytes);
+  }
+  const double serial_mbps = ThroughputMBps(kWrites * bytes, now);
+
+  Simulator sim2;
+  NandBackend nand2(&sim2, DefaultTiming());
+  SimTime last = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    last = nand2.Write(0, bytes);
+  }
+  const double saturated_mbps = ThroughputMBps(kWrites * bytes, last);
+  EXPECT_LT(serial_mbps, 0.65 * saturated_mbps);
+  EXPECT_GT(serial_mbps, 0.2 * saturated_mbps);
+}
+
+}  // namespace
+}  // namespace biza

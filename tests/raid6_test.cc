@@ -1,0 +1,225 @@
+// RAID-6 (m = 2, Reed-Solomon P+Q) tests of the BIZA engine — the paper's
+// "our designs can also be applied to other RAID levels" claim (§2),
+// including DOUBLE device failures and crash recovery under m = 2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/biza/biza_array.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+namespace {
+
+struct Raid6Fixture {
+  Simulator sim;
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::unique_ptr<BizaArray> array;
+
+  explicit Raid6Fixture(int num_devices = 5, BizaConfig config = {}) {
+    config.num_parity = 2;
+    std::vector<ZnsDevice*> ptrs;
+    for (int d = 0; d < num_devices; ++d) {
+      ZnsConfig dc = ZnsConfig::Zn540(/*num_zones=*/48, /*zone_cap=*/1024);
+      dc.seed = static_cast<uint64_t>(d) + 1;
+      devs.push_back(std::make_unique<ZnsDevice>(&sim, dc));
+      ptrs.push_back(devs.back().get());
+    }
+    array = std::make_unique<BizaArray>(&sim, ptrs, config);
+  }
+
+  Status WriteSync(uint64_t lbn, std::vector<uint64_t> patterns) {
+    Status out = InternalError("never completed");
+    array->SubmitWrite(lbn, std::move(patterns),
+                       [&](const Status& s) { out = s; }, WriteTag::kData);
+    sim.RunUntilIdle();
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> ReadSync(uint64_t lbn, uint64_t n) {
+    Status status = InternalError("never completed");
+    std::vector<uint64_t> out;
+    array->SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    if (!status.ok()) {
+      return status;
+    }
+    return out;
+  }
+};
+
+TEST(Raid6, WriteReadRoundTrip) {
+  Raid6Fixture f;
+  ASSERT_TRUE(f.WriteSync(10, {1, 2, 3, 4, 5, 6, 7}).ok());
+  auto r = f.ReadSync(10, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<uint64_t>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Raid6, SingleDeviceFailureReconstructs) {
+  Raid6Fixture f;
+  Rng rng(3);
+  std::vector<uint64_t> truth(300);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next();
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  for (int failed = 0; failed < 5; ++failed) {
+    f.array->SetDeviceFailed(failed, true);
+    for (uint64_t lbn = 0; lbn < truth.size(); lbn += 13) {
+      auto r = f.ReadSync(lbn, 1);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn << " dev " << failed;
+    }
+    f.array->SetDeviceFailed(failed, false);
+  }
+}
+
+TEST(Raid6, DoubleDeviceFailureReconstructs) {
+  Raid6Fixture f;
+  Rng rng(4);
+  std::vector<uint64_t> truth(300);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next();
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  // Every pair of simultaneous failures must survive (that is RAID 6).
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      f.array->SetDeviceFailed(a, true);
+      f.array->SetDeviceFailed(b, true);
+      for (uint64_t lbn = 0; lbn < truth.size(); lbn += 37) {
+        auto r = f.ReadSync(lbn, 1);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ((*r)[0], truth[lbn])
+            << "lbn " << lbn << " devs " << a << "," << b;
+      }
+      f.array->SetDeviceFailed(a, false);
+      f.array->SetDeviceFailed(b, false);
+    }
+  }
+}
+
+TEST(Raid6, DoubleFailureAfterInPlaceUpdates) {
+  // In-place ZRWA updates maintain BOTH parities via coefficient deltas.
+  Raid6Fixture f;
+  for (uint64_t lbn = 0; lbn < 20; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn}).ok());
+  }
+  for (int round = 0; round < 15; ++round) {
+    for (uint64_t lbn = 0; lbn < 20; ++lbn) {
+      ASSERT_TRUE(
+          f.WriteSync(lbn, {lbn * 100 + static_cast<uint64_t>(round)}).ok());
+    }
+  }
+  ASSERT_GT(f.array->stats().inplace_updates, 0u);
+  f.array->SetDeviceFailed(1, true);
+  f.array->SetDeviceFailed(3, true);
+  for (uint64_t lbn = 0; lbn < 20; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn * 100 + 14) << "lbn " << lbn;
+  }
+}
+
+TEST(Raid6, FourDeviceMinimumConfiguration) {
+  // n = 4, m = 2 -> k = 2: the smallest RAID-6 BIZA supports.
+  Raid6Fixture f(/*num_devices=*/4);
+  Rng rng(8);
+  std::vector<uint64_t> truth(200);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next();
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  f.array->SetDeviceFailed(0, true);
+  f.array->SetDeviceFailed(2, true);
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 11) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+TEST(Raid6, RecoveryRebuildsBothParities) {
+  Raid6Fixture f;
+  Rng rng(9);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 1500; ++i) {
+    const uint64_t lbn = rng.Uniform(8000);
+    const uint64_t value = rng.Next();
+    truth[lbn] = value;
+    ASSERT_TRUE(f.WriteSync(lbn, {value}).ok());
+  }
+  std::vector<ZnsDevice*> ptrs;
+  for (auto& dev : f.devs) {
+    ptrs.push_back(dev.get());
+  }
+  BizaConfig rc;
+  rc.num_parity = 2;
+  rc.recover_mode = true;
+  BizaArray recovered(&f.sim, ptrs, rc);
+  ASSERT_TRUE(recovered.Recover().ok());
+
+  // Degraded double-failure reads through the RECOVERED engine prove the
+  // rebuilt SMT/stripe index carries both parity rows with correct slots.
+  recovered.SetDeviceFailed(1, true);
+  recovered.SetDeviceFailed(4, true);
+  int checked = 0;
+  for (const auto& [lbn, expected] : truth) {
+    if (checked++ > 250) {
+      break;
+    }
+    Status status = InternalError("x");
+    std::vector<uint64_t> out;
+    recovered.SubmitRead(lbn, 1, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    f.sim.RunUntilIdle();
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(out.at(0), expected) << "lbn " << lbn;
+  }
+}
+
+TEST(Raid6, GcPreservesDoubleFaultTolerance) {
+  BizaConfig config;
+  config.exposed_capacity_ratio = 0.55;
+  Raid6Fixture f(5, config);
+  const uint64_t cap = f.array->capacity_blocks();
+  MicroWorkload wl(false, true, 4, cap / 2, 21);
+  Driver driver(&f.sim, f.array.get(), &wl, 16);
+  driver.Run(3 * (cap / 2) / 4, 600 * kSecond);
+  ASSERT_GT(f.array->stats().gc_runs, 0u);
+
+  // After GC churn, double failures must still reconstruct.
+  f.array->SetDeviceFailed(0, true);
+  f.array->SetDeviceFailed(1, true);
+  MicroWorkload rl(false, false, 4, cap / 2, 21);
+  Driver reader(&f.sim, f.array.get(), &rl, 8, /*verify_reads=*/true);
+  auto report = reader.Run(200, 60 * kSecond);
+  EXPECT_EQ(report.verify_failures, 0u);
+}
+
+TEST(Raid6, WaAccountsTwoParityRows) {
+  Raid6Fixture f;
+  // Sequential cold writes: every stripe writes k data + 2 parity blocks.
+  Driver::Fill(&f.sim, f.array.get(), 3000, 64);
+  uint64_t parity_flash = 0;
+  for (const auto& dev : f.devs) {
+    parity_flash +=
+        dev->stats().flash_by_tag[static_cast<int>(WriteTag::kParity)];
+  }
+  // Flushed parity is bounded by 2 per stripe (some still sit in ZRWA).
+  EXPECT_GT(f.array->stats().parity_writes, 2 * 3000u / 3);
+  (void)parity_flash;
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,116 @@
+// Unit tests for the discrete-event simulator and the FIFO resource model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace biza {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&]() { order.push_back(3); });
+  sim.Schedule(10, [&]() { order.push_back(1); });
+  sim.Schedule(20, [&]() { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(Simulator, TieBreaksByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(100, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime inner_fired_at = 0;
+  sim.Schedule(10, [&]() {
+    sim.Schedule(5, [&]() { inner_fired_at = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(inner_fired_at, 15u);
+}
+
+TEST(Simulator, ZeroDelayFiresAtSameTime) {
+  Simulator sim;
+  sim.Schedule(42, [&]() {
+    sim.Schedule(0, [&]() { EXPECT_EQ(sim.Now(), 42u); });
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&]() { fired++; });
+  sim.Schedule(100, [&]() { fired++; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 150u);
+}
+
+TEST(Simulator, CountsFiredEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(static_cast<SimTime>(i), []() {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.fired_events(), 7u);
+}
+
+TEST(FifoResource, ServesBackToBack) {
+  FifoResource r(/*mb_per_s=*/1000.0, /*fixed_ns=*/0);
+  // 1000 bytes at 1000 MB/s = 1000 ns.
+  EXPECT_EQ(r.Occupy(0, 1000), 1000u);
+  EXPECT_EQ(r.Occupy(0, 1000), 2000u);  // queues behind the first
+  EXPECT_EQ(r.Occupy(5000, 1000), 6000u);  // idle gap, starts at earliest
+}
+
+TEST(FifoResource, FixedCostAdds) {
+  FifoResource r(1000.0, 500);
+  EXPECT_EQ(r.Occupy(0, 1000), 1500u);
+}
+
+TEST(FifoResource, OccupyForReservesDuration) {
+  FifoResource r;
+  EXPECT_EQ(r.OccupyFor(100, 50), 150u);
+  EXPECT_EQ(r.OccupyFor(0, 10), 160u);  // busy until 150
+  EXPECT_EQ(r.busy_ns(), 60u);
+}
+
+TEST(FifoResource, TracksBusyTime) {
+  FifoResource r(100.0, 0);
+  r.Occupy(0, 1000);  // 10 us
+  r.Occupy(100000, 1000);
+  EXPECT_EQ(r.busy_ns(), 20000u);
+}
+
+}  // namespace
+}  // namespace biza

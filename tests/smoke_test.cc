@@ -1,0 +1,73 @@
+// End-to-end smoke: every platform accepts writes, returns them intact, and
+// reaches idle. Guards the whole stack before the per-module suites dig in.
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+namespace {
+
+PlatformConfig SmallConfig() {
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/64, /*zone_capacity_blocks=*/2048);
+  config.MatchConvCapacity();
+  return config;
+}
+
+class SmokeTest : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(SmokeTest, WriteReadVerify) {
+  Simulator sim;
+  auto platform = Platform::Create(&sim, GetParam(), SmallConfig());
+  BlockTarget* target = platform->block();
+  ASSERT_NE(target, nullptr);
+  ASSERT_GT(target->capacity_blocks(), 10000u);
+
+  MicroWorkload wl(/*sequential=*/false, /*write=*/true, /*request_blocks=*/8,
+                   /*footprint_blocks=*/8192, /*seed=*/3);
+  Driver driver(&sim, target, &wl, /*iodepth=*/16, /*verify_reads=*/true);
+  DriverReport report = driver.Run(/*max_requests=*/2000,
+                                   /*max_duration=*/30 * kSecond);
+  EXPECT_EQ(report.requests_completed, 2000u);
+  EXPECT_GT(report.bytes_written, 0u);
+
+  MicroWorkload rl(/*sequential=*/false, /*write=*/false, 8, 8192, 3);
+  Driver reader(&sim, target, &rl, 16, /*verify_reads=*/true);
+  DriverReport rreport = reader.Run(500, 30 * kSecond);
+  EXPECT_EQ(rreport.requests_completed, 500u);
+  EXPECT_EQ(rreport.verify_failures, 0u)
+      << "platform " << platform->name() << " corrupted data";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, SmokeTest,
+    ::testing::Values(PlatformKind::kBiza, PlatformKind::kBizaNoSelector,
+                      PlatformKind::kBizaNoAvoid, PlatformKind::kDmzapRaizn,
+                      PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv),
+    [](const ::testing::TestParamInfo<PlatformKind>& param_info) {
+      std::string name = PlatformKindName(param_info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(SmokeRaizn, ZonedSequentialWrite) {
+  Simulator sim;
+  auto platform = Platform::Create(&sim, PlatformKind::kRaizn, SmallConfig());
+  ZonedTarget* target = platform->zoned();
+  ASSERT_NE(target, nullptr);
+  ZonedSeqDriver driver(&sim, target, /*request_blocks=*/16,
+                        /*parallel_zones=*/4);
+  DriverReport report = driver.Run(1000, 30 * kSecond);
+  EXPECT_EQ(report.requests_completed, 1000u);
+  EXPECT_GT(report.WriteMBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace biza

@@ -1,0 +1,217 @@
+// afa_bench: run any AFA platform against any workload from the command
+// line — the swiss-army knife for exploring the simulation beyond the
+// fixed paper experiments.
+//
+//   afa_bench [--platform=BIZA] [--workload=casa|seqwrite|randread|...]
+//             [--requests=N] [--iodepth=N] [--size-kb=N] [--seconds=S]
+//             [--zones=N] [--zone-mb=N] [--zrwa-kb=N] [--num-parity=M]
+//             [--deviation=P] [--expose-channels] [--verify]
+//
+//   afa_bench --list            # platforms and workloads
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/metrics/wa_report.h"
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/app_workloads.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+using namespace biza;
+
+namespace {
+
+struct Options {
+  std::string platform = "BIZA";
+  std::string workload = "seqwrite";
+  uint64_t requests = 50000;
+  int iodepth = 32;
+  uint64_t size_kb = 64;
+  double seconds = 2.0;
+  uint32_t zones = 96;
+  uint64_t zone_mb = 8;
+  uint64_t zrwa_kb = 1024;
+  int num_parity = 1;
+  double deviation = 0.0;
+  bool expose_channels = false;
+  bool verify = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "afa_bench --platform=<p> --workload=<w> [options]\n\n"
+      "platforms : BIZA BIZAw/oSelector BIZAw/oAvoid dmzap+RAIZN\n"
+      "            mdraid+dmzap mdraid+ConvSSD\n"
+      "workloads : seqwrite randwrite seqread randread\n"
+      "            casa online ikki proj web DAP MSNFS lun0 lun1 tencent\n"
+      "            randomwrite fileserv oltp webserver fillseq fillrandom\n"
+      "            fillseekseq\n"
+      "options   : --requests=N --iodepth=N --size-kb=N --seconds=S\n"
+      "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
+      "            --deviation=P --expose-channels --verify\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = strlen(name);
+  if (strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+PlatformKind KindFromName(const std::string& name) {
+  for (PlatformKind kind :
+       {PlatformKind::kBiza, PlatformKind::kBizaNoSelector,
+        PlatformKind::kBizaNoAvoid, PlatformKind::kDmzapRaizn,
+        PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv}) {
+    if (name == PlatformKindName(kind)) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
+  exit(2);
+}
+
+std::unique_ptr<WorkloadGenerator> MakeWorkload(const std::string& name,
+                                                uint64_t size_blocks,
+                                                uint64_t footprint) {
+  if (name == "seqwrite" || name == "randwrite" || name == "seqread" ||
+      name == "randread") {
+    const bool seq = name[0] == 's';
+    const bool write = name.find("write") != std::string::npos;
+    return std::make_unique<MicroWorkload>(seq, write, size_blocks, footprint,
+                                           7);
+  }
+  for (const TraceProfile& profile : TraceProfile::AllTable6()) {
+    if (profile.name == name) {
+      TraceProfile clipped = profile;
+      clipped.footprint_blocks = std::min(clipped.footprint_blocks, footprint);
+      return std::make_unique<SyntheticTrace>(clipped);
+    }
+  }
+  for (const AppProfile& profile :
+       {AppProfile::FilebenchRandomwrite(), AppProfile::FilebenchFileserver(),
+        AppProfile::FilebenchOltp(), AppProfile::FilebenchWebserver(),
+        AppProfile::DbBenchFillseq(), AppProfile::DbBenchFillrandom(),
+        AppProfile::DbBenchFillseekseq()}) {
+    if (profile.name == name) {
+      AppProfile clipped = profile;
+      clipped.footprint_blocks = std::min(clipped.footprint_blocks, footprint);
+      return std::make_unique<AppWorkload>(clipped);
+    }
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (strcmp(argv[i], "--list") == 0 || strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(argv[i], "--platform", &value)) {
+      opt.platform = value;
+    } else if (ParseFlag(argv[i], "--workload", &value)) {
+      opt.workload = value;
+    } else if (ParseFlag(argv[i], "--requests", &value)) {
+      opt.requests = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iodepth", &value)) {
+      opt.iodepth = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--size-kb", &value)) {
+      opt.size_kb = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seconds", &value)) {
+      opt.seconds = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--zones", &value)) {
+      opt.zones = static_cast<uint32_t>(atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--zone-mb", &value)) {
+      opt.zone_mb = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--zrwa-kb", &value)) {
+      opt.zrwa_kb = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--num-parity", &value)) {
+      opt.num_parity = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--deviation", &value)) {
+      opt.deviation = atof(value.c_str());
+    } else if (strcmp(argv[i], "--expose-channels") == 0) {
+      opt.expose_channels = true;
+    } else if (strcmp(argv[i], "--verify") == 0) {
+      opt.verify = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  Simulator sim;
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(opt.zones,
+                                opt.zone_mb * kMiB / kBlockSize);
+  config.zns.zrwa_blocks = static_cast<uint32_t>(opt.zrwa_kb / 4);
+  config.zns.wear_level_deviation = opt.deviation;
+  config.zns.expose_channel_on_open = opt.expose_channels;
+  config.biza.num_parity = opt.num_parity;
+  config.MatchConvCapacity();
+
+  auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
+  BlockTarget* target = platform->block();
+  std::printf("platform %-16s capacity %.0f MiB  (%u zones x %llu MiB, "
+              "ZRWA %llu KiB, m=%d)\n",
+              platform->name().c_str(),
+              static_cast<double>(target->capacity_blocks()) * 4 / 1024,
+              opt.zones, static_cast<unsigned long long>(opt.zone_mb),
+              static_cast<unsigned long long>(opt.zrwa_kb), opt.num_parity);
+
+  const uint64_t size_blocks = std::max<uint64_t>(1, opt.size_kb / 4);
+  auto workload =
+      MakeWorkload(opt.workload, size_blocks, target->capacity_blocks() / 2);
+
+  if (opt.workload.find("read") != std::string::npos) {
+    Driver::Fill(&sim, target, target->capacity_blocks() / 2, 64);
+  }
+
+  Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
+  const DriverReport report = driver.Run(
+      opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
+  platform->Quiesce(&sim);
+
+  const WaBreakdown wa =
+      platform->CollectWa(report.bytes_written / kBlockSize);
+  std::printf("workload %-16s %llu requests in %.3f s virtual\n",
+              opt.workload.c_str(),
+              static_cast<unsigned long long>(report.requests_completed),
+              static_cast<double>(report.elapsed_ns) / 1e9);
+  std::printf("  write: %8.1f MB/s   %s\n", report.WriteMBps(),
+              report.write_latency.count() > 0
+                  ? report.write_latency.Summary().c_str()
+                  : "-");
+  std::printf("  read : %8.1f MB/s   %s\n", report.ReadMBps(),
+              report.read_latency.count() > 0
+                  ? report.read_latency.Summary().c_str()
+                  : "-");
+  if (report.bytes_written > 0) {
+    std::printf("  WA   : data %.3fx + parity %.3fx = %.3fx\n", wa.DataRatio(),
+                wa.ParityRatio(), wa.TotalRatio());
+  }
+  if (opt.verify) {
+    std::printf("  verify failures: %llu\n",
+                static_cast<unsigned long long>(report.verify_failures));
+  }
+  const auto cpu = platform->CpuBreakdown();
+  std::printf("  cpu  :");
+  for (const auto& [component, ns] : cpu) {
+    std::printf(" %s=%.0f%%", component.c_str(),
+                static_cast<double>(ns) /
+                    static_cast<double>(report.elapsed_ns) * 100.0);
+  }
+  std::printf("\n");
+  return 0;
+}
