@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_intra_zone.dir/fig05_intra_zone.cc.o"
+  "CMakeFiles/fig05_intra_zone.dir/fig05_intra_zone.cc.o.d"
+  "fig05_intra_zone"
+  "fig05_intra_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intra_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

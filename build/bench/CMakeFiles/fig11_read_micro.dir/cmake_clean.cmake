@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_read_micro.dir/fig11_read_micro.cc.o"
+  "CMakeFiles/fig11_read_micro.dir/fig11_read_micro.cc.o.d"
+  "fig11_read_micro"
+  "fig11_read_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_read_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_traces.dir/fig12_traces.cc.o"
+  "CMakeFiles/fig12_traces.dir/fig12_traces.cc.o.d"
+  "fig12_traces"
+  "fig12_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

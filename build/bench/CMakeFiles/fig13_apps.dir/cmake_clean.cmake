@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_apps.dir/fig13_apps.cc.o"
+  "CMakeFiles/fig13_apps.dir/fig13_apps.cc.o.d"
+  "fig13_apps"
+  "fig13_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_amp.dir/fig14_write_amp.cc.o"
+  "CMakeFiles/fig14_write_amp.dir/fig14_write_amp.cc.o.d"
+  "fig14_write_amp"
+  "fig14_write_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

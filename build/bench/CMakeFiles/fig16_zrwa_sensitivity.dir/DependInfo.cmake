@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_zrwa_sensitivity.cc" "bench/CMakeFiles/fig16_zrwa_sensitivity.dir/fig16_zrwa_sensitivity.cc.o" "gcc" "bench/CMakeFiles/fig16_zrwa_sensitivity.dir/fig16_zrwa_sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/biza_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/biza_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/biza/CMakeFiles/biza_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/biza_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/biza_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/convssd/CMakeFiles/biza_convssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/biza_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/biza_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/biza_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biza_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_zrwa_configs.dir/tab02_zrwa_configs.cc.o"
+  "CMakeFiles/tab02_zrwa_configs.dir/tab02_zrwa_configs.cc.o.d"
+  "tab02_zrwa_configs"
+  "tab02_zrwa_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_zrwa_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

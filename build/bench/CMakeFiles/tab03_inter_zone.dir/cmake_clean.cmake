@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_inter_zone.dir/tab03_inter_zone.cc.o"
+  "CMakeFiles/tab03_inter_zone.dir/tab03_inter_zone.cc.o.d"
+  "tab03_inter_zone"
+  "tab03_inter_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_inter_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_workload_stats.dir/tab06_workload_stats.cc.o"
+  "CMakeFiles/tab06_workload_stats.dir/tab06_workload_stats.cc.o.d"
+  "tab06_workload_stats"
+  "tab06_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_avoidance_demo.dir/gc_avoidance_demo.cpp.o"
+  "CMakeFiles/gc_avoidance_demo.dir/gc_avoidance_demo.cpp.o.d"
+  "gc_avoidance_demo"
+  "gc_avoidance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_avoidance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

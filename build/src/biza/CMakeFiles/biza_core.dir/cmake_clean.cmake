@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_core.dir/biza_array.cc.o"
+  "CMakeFiles/biza_core.dir/biza_array.cc.o.d"
+  "CMakeFiles/biza_core.dir/channel_detector.cc.o"
+  "CMakeFiles/biza_core.dir/channel_detector.cc.o.d"
+  "CMakeFiles/biza_core.dir/ghost_cache.cc.o"
+  "CMakeFiles/biza_core.dir/ghost_cache.cc.o.d"
+  "CMakeFiles/biza_core.dir/zone_scheduler.cc.o"
+  "CMakeFiles/biza_core.dir/zone_scheduler.cc.o.d"
+  "libbiza_core.a"
+  "libbiza_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

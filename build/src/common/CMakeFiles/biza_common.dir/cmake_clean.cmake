@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_common.dir/histogram.cc.o"
+  "CMakeFiles/biza_common.dir/histogram.cc.o.d"
+  "CMakeFiles/biza_common.dir/logging.cc.o"
+  "CMakeFiles/biza_common.dir/logging.cc.o.d"
+  "CMakeFiles/biza_common.dir/status.cc.o"
+  "CMakeFiles/biza_common.dir/status.cc.o.d"
+  "libbiza_common.a"
+  "libbiza_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

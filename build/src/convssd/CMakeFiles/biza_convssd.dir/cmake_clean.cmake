@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_convssd.dir/conv_ssd.cc.o"
+  "CMakeFiles/biza_convssd.dir/conv_ssd.cc.o.d"
+  "libbiza_convssd.a"
+  "libbiza_convssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_convssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiza_convssd.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_engines.dir/dmzap.cc.o"
+  "CMakeFiles/biza_engines.dir/dmzap.cc.o.d"
+  "CMakeFiles/biza_engines.dir/mdraid.cc.o"
+  "CMakeFiles/biza_engines.dir/mdraid.cc.o.d"
+  "CMakeFiles/biza_engines.dir/raizn.cc.o"
+  "CMakeFiles/biza_engines.dir/raizn.cc.o.d"
+  "libbiza_engines.a"
+  "libbiza_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

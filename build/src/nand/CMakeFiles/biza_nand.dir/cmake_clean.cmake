@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_nand.dir/nand_backend.cc.o"
+  "CMakeFiles/biza_nand.dir/nand_backend.cc.o.d"
+  "libbiza_nand.a"
+  "libbiza_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_raid.dir/gf256.cc.o"
+  "CMakeFiles/biza_raid.dir/gf256.cc.o.d"
+  "CMakeFiles/biza_raid.dir/reed_solomon.cc.o"
+  "CMakeFiles/biza_raid.dir/reed_solomon.cc.o.d"
+  "libbiza_raid.a"
+  "libbiza_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

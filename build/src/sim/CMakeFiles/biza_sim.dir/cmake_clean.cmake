@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_sim.dir/simulator.cc.o"
+  "CMakeFiles/biza_sim.dir/simulator.cc.o.d"
+  "libbiza_sim.a"
+  "libbiza_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_testbed.dir/platforms.cc.o"
+  "CMakeFiles/biza_testbed.dir/platforms.cc.o.d"
+  "libbiza_testbed.a"
+  "libbiza_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_workload.dir/app_workloads.cc.o"
+  "CMakeFiles/biza_workload.dir/app_workloads.cc.o.d"
+  "CMakeFiles/biza_workload.dir/driver.cc.o"
+  "CMakeFiles/biza_workload.dir/driver.cc.o.d"
+  "CMakeFiles/biza_workload.dir/workload.cc.o"
+  "CMakeFiles/biza_workload.dir/workload.cc.o.d"
+  "libbiza_workload.a"
+  "libbiza_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

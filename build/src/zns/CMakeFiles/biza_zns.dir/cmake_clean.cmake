@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_zns.dir/zns_config.cc.o"
+  "CMakeFiles/biza_zns.dir/zns_config.cc.o.d"
+  "CMakeFiles/biza_zns.dir/zns_device.cc.o"
+  "CMakeFiles/biza_zns.dir/zns_device.cc.o.d"
+  "libbiza_zns.a"
+  "libbiza_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biza_array_test.dir/biza_array_test.cc.o"
+  "CMakeFiles/biza_array_test.dir/biza_array_test.cc.o.d"
+  "biza_array_test"
+  "biza_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biza_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convssd_test.dir/convssd_test.cc.o"
+  "CMakeFiles/convssd_test.dir/convssd_test.cc.o.d"
+  "convssd_test"
+  "convssd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghost_cache_test.dir/ghost_cache_test.cc.o"
+  "CMakeFiles/ghost_cache_test.dir/ghost_cache_test.cc.o.d"
+  "ghost_cache_test"
+  "ghost_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghost_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_test.dir/nand_test.cc.o"
+  "CMakeFiles/nand_test.dir/nand_test.cc.o.d"
+  "nand_test"
+  "nand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

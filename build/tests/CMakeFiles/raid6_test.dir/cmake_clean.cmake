@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid6_test.dir/raid6_test.cc.o"
+  "CMakeFiles/raid6_test.dir/raid6_test.cc.o.d"
+  "raid6_test"
+  "raid6_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_scheduler_test.dir/zone_scheduler_test.cc.o"
+  "CMakeFiles/zone_scheduler_test.dir/zone_scheduler_test.cc.o.d"
+  "zone_scheduler_test"
+  "zone_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_bench.dir/afa_bench.cc.o"
+  "CMakeFiles/afa_bench.dir/afa_bench.cc.o.d"
+  "afa_bench"
+  "afa_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
