@@ -25,7 +25,16 @@ struct Row {
   int diagnosis_zones = 2;
 };
 
-void RunRow(const Row& row) {
+struct RowResult {
+  double mbps = 0;
+  double wa = 0;
+  double p99_us = 0;
+  double p9999_us = 0;
+  uint64_t gc_runs = 0;
+  uint64_t corrections = 0;
+};
+
+RowResult RunRow(const Row& row) {
   Simulator sim;
   PlatformConfig config = BenchConfig(7);
   config.zns.wear_level_deviation = row.deviation;
@@ -65,12 +74,21 @@ void RunRow(const Row& row) {
   for (int d = 0; d < config.num_ssds; ++d) {
     corrections += array->detector(d).stats().corrections;
   }
-  std::printf("%-26s %8.0f %8.2fx %9.0f %11.0f %8llu %8llu\n", row.name,
-              report.WriteMBps(), wa.TotalRatio(),
-              static_cast<double>(report.write_latency.Percentile(99)) / 1e3,
-              static_cast<double>(report.write_latency.Percentile(99.99)) / 1e3,
-              static_cast<unsigned long long>(array->stats().gc_runs),
-              static_cast<unsigned long long>(corrections));
+  RecordSimEvents(sim);
+  return RowResult{
+      report.WriteMBps(),
+      wa.TotalRatio(),
+      static_cast<double>(report.write_latency.Percentile(99)) / 1e3,
+      static_cast<double>(report.write_latency.Percentile(99.99)) / 1e3,
+      array->stats().gc_runs,
+      corrections};
+}
+
+void PrintRow(const char* name, const RowResult& r) {
+  std::printf("%-26s %8.0f %8.2fx %9.0f %11.0f %8llu %8llu\n", name, r.mbps,
+              r.wa, r.p99_us, r.p9999_us,
+              static_cast<unsigned long long>(r.gc_runs),
+              static_cast<unsigned long long>(r.corrections));
 }
 
 void Run() {
@@ -79,17 +97,28 @@ void Run() {
       "rows flip one mechanism each; the workload (MSNFS-like writes over a "
       "churned half-full array) is identical across rows");
 
+  const std::vector<Row> rows = {
+      {"BIZA (defaults)"},
+      {"w/o selector", PlatformKind::kBizaNoSelector},
+      {"w/o GC avoidance", PlatformKind::kBizaNoAvoid},
+      {"vote threshold 1", PlatformKind::kBiza, false, 0.10, 1},
+      {"vote threshold 6", PlatformKind::kBiza, false, 0.10, 6},
+      {"no start-up diagnosis", PlatformKind::kBiza, false, 0.10, 3, 0},
+      {"no wear deviation", PlatformKind::kBiza, false, 0.0},
+      {"heavy deviation (20%)", PlatformKind::kBiza, false, 0.20},
+      {"future-ZNS CQE channels", PlatformKind::kBiza, true},
+  };
+  std::vector<std::function<RowResult()>> jobs;
+  for (const Row& row : rows) {
+    jobs.push_back([row]() { return RunRow(row); });
+  }
+  const std::vector<RowResult> results = RunExperiments(std::move(jobs));
+
   std::printf("%-26s %8s %8s %9s %11s %8s %8s\n", "variant", "MB/s", "WA",
               "p99 us", "p99.99 us", "gc", "corr");
-  RunRow({"BIZA (defaults)"});
-  RunRow({"w/o selector", PlatformKind::kBizaNoSelector});
-  RunRow({"w/o GC avoidance", PlatformKind::kBizaNoAvoid});
-  RunRow({"vote threshold 1", PlatformKind::kBiza, false, 0.10, 1});
-  RunRow({"vote threshold 6", PlatformKind::kBiza, false, 0.10, 6});
-  RunRow({"no start-up diagnosis", PlatformKind::kBiza, false, 0.10, 3, 0});
-  RunRow({"no wear deviation", PlatformKind::kBiza, false, 0.0});
-  RunRow({"heavy deviation (20%)", PlatformKind::kBiza, false, 0.20});
-  RunRow({"future-ZNS CQE channels", PlatformKind::kBiza, true});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PrintRow(rows[i].name, results[i]);
+  }
   std::printf(
       "\n(corr = online guess corrections; with future-ZNS CQE channels the\n"
       "mapping arrives architected and no corrections are ever needed)\n");
@@ -99,6 +128,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("ablation_design_choices");
   biza::Run();
   return 0;
 }

@@ -7,10 +7,14 @@
 #ifndef BIZA_BENCH_BENCH_UTIL_H_
 #define BIZA_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
 #include "src/testbed/platforms.h"
 #include "src/workload/driver.h"
@@ -68,6 +72,49 @@ inline DriverReport RunBlockMicro(Simulator* sim, Platform* platform,
   Driver driver(sim, platform->block(), &workload, iodepth);
   return driver.Run(max_requests, max_duration);
 }
+
+// ---------------------------------------------------------------------------
+// Bench harness instrumentation.
+//
+// Every experiment job records the fired-event count of its Simulator before
+// returning; the BenchMetricScope that wraps a bench's main() prints one
+// machine-readable BENCH_METRIC line (wall-clock, total simulated events,
+// events/sec, thread count) that tools/run_benches.sh collects into
+// BENCH_sim.json. Keeping the line format stable is what lets the perf
+// trajectory of the simulator be tracked across PRs.
+
+inline std::atomic<uint64_t>& FiredEventCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+// Call at the end of every experiment job (thread-safe).
+inline void RecordSimEvents(const Simulator& sim) {
+  FiredEventCounter().fetch_add(sim.fired_events(), std::memory_order_relaxed);
+}
+
+class BenchMetricScope {
+ public:
+  explicit BenchMetricScope(const char* id)
+      : id_(id), start_(std::chrono::steady_clock::now()) {}
+
+  ~BenchMetricScope() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const uint64_t events = FiredEventCounter().load(std::memory_order_relaxed);
+    std::printf(
+        "\nBENCH_METRIC {\"bench\":\"%s\",\"wall_s\":%.3f,\"events\":%llu,"
+        "\"events_per_s\":%.0f,\"threads\":%d}\n",
+        id_, wall_s, static_cast<unsigned long long>(events),
+        wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0,
+        DefaultExperimentThreads());
+  }
+
+ private:
+  const char* id_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace biza
 

@@ -41,6 +41,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig04_reuse_cdf");
   biza::Run();
   return 0;
 }

@@ -58,6 +58,7 @@ double RunDepth(uint64_t req_blocks, int depth) {
   };
   pump();
   sim.RunUntilIdle();
+  RecordSimEvents(sim);
   return ThroughputMBps(completed * req_blocks * kBlockSize, last_done);
 }
 
@@ -72,9 +73,17 @@ void Run() {
   double loss_sum = 0;
   double loss_max = 0;
   const uint64_t sizes[] = {1, 4, 16, 32, 48};  // 4K .. 192K
+  std::vector<std::function<double()>> jobs;
   for (uint64_t blocks : sizes) {
-    const double one = RunDepth(blocks, 1);
-    const double many = RunDepth(blocks, 32);
+    for (int depth : {1, 32}) {
+      jobs.push_back([blocks, depth]() { return RunDepth(blocks, depth); });
+    }
+  }
+  const std::vector<double> results = RunExperiments(std::move(jobs));
+  size_t job_index = 0;
+  for (uint64_t blocks : sizes) {
+    const double one = results[job_index++];
+    const double many = results[job_index++];
     const double loss = many > 0 ? (1.0 - one / many) * 100.0 : 0.0;
     loss_sum += loss;
     loss_max = std::max(loss_max, loss);
@@ -89,6 +98,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig05_intra_zone");
   biza::Run();
   return 0;
 }

@@ -43,6 +43,7 @@ Cell RunCase(PlatformKind kind, bool sequential, uint64_t req_blocks) {
   Cell cell;
   cell.mbps = report.WriteMBps();
   cell.avg_us = report.write_latency.Mean() / 1e3;
+  RecordSimEvents(sim);
   return cell;
 }
 
@@ -63,16 +64,34 @@ void Run() {
       {"sequential", true}, {"random", false}};
   const std::vector<uint64_t> sizes = {1, 16, 48};  // 4K / 64K / 192K
 
+  // All (pattern, platform, size) cells are independent experiments: submit
+  // them to the parallel runner, then print from the collected results in
+  // the same nested order they were enqueued.
+  std::vector<std::function<Cell()>> jobs;
+  for (const auto& [pattern_name, sequential] : patterns) {
+    (void)pattern_name;
+    for (PlatformKind kind : kinds) {
+      for (uint64_t blocks : sizes) {
+        const bool seq = sequential;
+        jobs.push_back([kind, seq, blocks]() { return RunCase(kind, seq, blocks); });
+      }
+    }
+  }
+  const std::vector<Cell> results = RunExperiments(std::move(jobs));
+
   double biza_sum = 0, dzrz_sum = 0, mddz_sum = 0, mdcv_sum = 0;
   double biza_peak = 0;
   int cells = 0;
+  size_t job_index = 0;
   for (const auto& [pattern_name, sequential] : patterns) {
+    (void)sequential;
     std::printf("--- %s writes ---\n", pattern_name);
     std::printf("%-16s %14s %14s %14s\n", "platform", "4K", "64K", "192K");
     for (PlatformKind kind : kinds) {
       std::printf("%-16s", PlatformKindName(kind));
       for (uint64_t blocks : sizes) {
-        const Cell cell = RunCase(kind, sequential, blocks);
+        (void)blocks;
+        const Cell cell = results[job_index++];
         if (!cell.supported) {
           std::printf(" %13s", "--");
           continue;
@@ -110,6 +129,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig10_write_micro");
   biza::Run();
   return 0;
 }

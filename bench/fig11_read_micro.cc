@@ -24,6 +24,7 @@ double RunCase(PlatformKind kind, uint64_t req_blocks) {
                          footprint, 7);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(200000, kSecond / 2);
+  RecordSimEvents(sim);
   return report.ReadMBps();
 }
 
@@ -41,12 +42,21 @@ void Run() {
       PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv};
   const std::vector<uint64_t> sizes = {1, 16, 48};
 
+  std::vector<std::function<double()>> jobs;
+  for (PlatformKind kind : kinds) {
+    for (uint64_t blocks : sizes) {
+      jobs.push_back([kind, blocks]() { return RunCase(kind, blocks); });
+    }
+  }
+  const std::vector<double> results = RunExperiments(std::move(jobs));
+
   std::printf("%-16s %10s %10s %10s  (MB/s)\n", "platform", "4K", "64K",
               "192K");
+  size_t job_index = 0;
   for (PlatformKind kind : kinds) {
     std::printf("%-16s", PlatformKindName(kind));
-    for (uint64_t blocks : sizes) {
-      std::printf(" %10.0f", RunCase(kind, blocks));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      std::printf(" %10.0f", results[job_index++]);
     }
     std::printf("\n");
   }
@@ -56,6 +66,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig11_read_micro");
   biza::Run();
   return 0;
 }

@@ -23,6 +23,7 @@ double RunTrace(PlatformKind kind, const TraceProfile& profile) {
   SyntheticTrace trace(profile);
   Driver driver(&sim, platform->block(), &trace, /*iodepth=*/32);
   const DriverReport report = driver.Run(60000, kSecond / 2);
+  RecordSimEvents(sim);
   return report.TotalMBps();
 }
 
@@ -42,11 +43,21 @@ void Run() {
   }
   std::printf("  (MB/s)\n");
 
+  const std::vector<TraceProfile> profiles = TraceProfile::AllTable6();
+  std::vector<std::function<double()>> jobs;
+  for (const TraceProfile& profile : profiles) {
+    for (PlatformKind kind : kinds) {
+      jobs.push_back([kind, profile]() { return RunTrace(kind, profile); });
+    }
+  }
+  const std::vector<double> results = RunExperiments(std::move(jobs));
+
   double biza_sum = 0, mddz_sum = 0, dzrz_sum = 0;
-  for (const TraceProfile& profile : TraceProfile::AllTable6()) {
+  size_t job_index = 0;
+  for (const TraceProfile& profile : profiles) {
     std::printf("%-10s", profile.name.c_str());
     for (PlatformKind kind : kinds) {
-      const double mbps = RunTrace(kind, profile);
+      const double mbps = results[job_index++];
       std::printf(" %15.0f", mbps);
       if (kind == PlatformKind::kBiza) {
         biza_sum += mbps;
@@ -68,6 +79,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig12_traces");
   biza::Run();
   return 0;
 }

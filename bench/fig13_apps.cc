@@ -27,6 +27,7 @@ double RunApp(PlatformKind kind, const AppProfile& profile) {
   AppWorkload workload(profile);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(40000, kSecond / 2);
+  RecordSimEvents(sim);
   return report.TotalMBps();
 }
 
@@ -42,13 +43,25 @@ void Run() {
       AppProfile::DbBenchFillseq(),       AppProfile::DbBenchFillrandom(),
       AppProfile::DbBenchFillseekseq()};
 
+  const std::vector<PlatformKind> kinds = {PlatformKind::kDmzapRaizn,
+                                           PlatformKind::kBiza,
+                                           PlatformKind::kMdraidDmzap};
+  std::vector<std::function<double()>> jobs;
+  for (const AppProfile& app : apps) {
+    for (PlatformKind kind : kinds) {
+      jobs.push_back([kind, app]() { return RunApp(kind, app); });
+    }
+  }
+  const std::vector<double> results = RunExperiments(std::move(jobs));
+
   std::printf("%-12s %12s %12s %14s %12s\n", "workload", "RAIZN(shim)",
               "BIZA", "mdraid+dmzap", "BIZA/RAIZN");
   double gain_sum = 0;
+  size_t job_index = 0;
   for (const AppProfile& app : apps) {
-    const double raizn = RunApp(PlatformKind::kDmzapRaizn, app);
-    const double biza = RunApp(PlatformKind::kBiza, app);
-    const double mddz = RunApp(PlatformKind::kMdraidDmzap, app);
+    const double raizn = results[job_index++];
+    const double biza = results[job_index++];
+    const double mddz = results[job_index++];
     const double norm = raizn > 0 ? biza / raizn : 0;
     gain_sum += norm;
     std::printf("%-12s %9.0f MB/s %7.0f MB/s %9.0f MB/s %11.2fx\n",
@@ -62,6 +75,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig13_apps");
   biza::Run();
   return 0;
 }

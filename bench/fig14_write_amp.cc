@@ -52,6 +52,7 @@ WaCell RunWa(PlatformKind kind, const TraceProfile& profile) {
 
   const WaBreakdown wa =
       platform->CollectWa(report.bytes_written / kBlockSize);
+  RecordSimEvents(sim);
   return WaCell{wa.DataRatio(), wa.ParityRatio()};
 }
 
@@ -72,16 +73,29 @@ void Run() {
   }
   std::printf("  (data+parity = total)\n");
 
-  double biza_total = 0, nosel_total = 0, best_baseline_total = 0;
-  int traces = 0;
+  std::vector<TraceProfile> profiles;
   for (const TraceProfile& profile : TraceProfile::AllTable6()) {
     if (profile.write_ratio < 0.05) {
       continue;  // proj is read-dominated; WA is about writes
     }
+    profiles.push_back(profile);
+  }
+  std::vector<std::function<WaCell()>> jobs;
+  for (const TraceProfile& profile : profiles) {
+    for (PlatformKind kind : kinds) {
+      jobs.push_back([kind, profile]() { return RunWa(kind, profile); });
+    }
+  }
+  const std::vector<WaCell> results = RunExperiments(std::move(jobs));
+
+  double biza_total = 0, nosel_total = 0, best_baseline_total = 0;
+  int traces = 0;
+  size_t job_index = 0;
+  for (const TraceProfile& profile : profiles) {
     std::printf("%-10s %5.2f+%4.2f  ", profile.name.c_str(), 1.0, 1.0);
     double row[4] = {};
     for (size_t i = 0; i < kinds.size(); ++i) {
-      const WaCell cell = RunWa(kinds[i], profile);
+      const WaCell cell = results[job_index++];
       std::printf("   %4.2f+%4.2f=%4.2f", cell.data, cell.parity,
                   cell.total());
       row[i] = cell.total();
@@ -104,6 +118,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig14_write_amp");
   biza::Run();
   return 0;
 }

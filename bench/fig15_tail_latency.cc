@@ -46,6 +46,7 @@ TailResult RunCase(PlatformKind kind, uint64_t req_blocks, int iodepth,
   const uint64_t max_requests =
       force_gc ? 25000 : std::min<uint64_t>(25000, footprint / req_blocks);
   const DriverReport report = driver.Run(max_requests, 4 * kSecond);
+  RecordSimEvents(sim);
   return TailResult{
       static_cast<double>(report.write_latency.Percentile(99)) / 1e3,
       static_cast<double>(report.write_latency.Percentile(99.99)) / 1e3};
@@ -58,6 +59,27 @@ void Run() {
       "depth 32 and 74.9% at depth 1 vs BIZAw/oAvoid");
 
   const std::vector<uint64_t> sizes = {1, 16, 48};
+
+  // Enqueue every (iodepth, platform, gc, size) cell as an independent job;
+  // the print loops below walk the results in the same order.
+  std::vector<std::function<TailResult()>> jobs;
+  for (int iodepth : {32, 1}) {
+    for (auto kind : {PlatformKind::kBiza, PlatformKind::kBizaNoAvoid}) {
+      for (bool gc : {false, true}) {
+        if (!gc && kind != PlatformKind::kBiza) {
+          continue;
+        }
+        for (uint64_t blocks : sizes) {
+          jobs.push_back([kind, blocks, iodepth, gc]() {
+            return RunCase(kind, blocks, iodepth, gc);
+          });
+        }
+      }
+    }
+  }
+  const std::vector<TailResult> results = RunExperiments(std::move(jobs));
+
+  size_t job_index = 0;
   for (int iodepth : {32, 1}) {
     std::printf("--- iodepth %d (%s-sensitive) ---\n", iodepth,
                 iodepth == 32 ? "throughput" : "latency");
@@ -72,7 +94,8 @@ void Run() {
         }
         std::printf("%-18s", gc ? PlatformKindName(kind) : "BIZA(no GC)");
         for (uint64_t blocks : sizes) {
-          const TailResult r = RunCase(kind, blocks, iodepth, gc);
+          (void)blocks;
+          const TailResult r = results[job_index++];
           std::printf("   %8.0f/%10.0f", r.p99_us, r.p9999_us);
           if (gc && kind == PlatformKind::kBiza) {
             biza_tail += r.p9999_us;
@@ -92,6 +115,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig15_tail_latency");
   biza::Run();
   return 0;
 }

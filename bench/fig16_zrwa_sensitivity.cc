@@ -38,6 +38,7 @@ Cell RunSize(const TraceProfile& profile, uint32_t zrwa_blocks) {
   platform->Quiesce(&sim);
 
   const WaBreakdown wa = platform->CollectWa(report.bytes_written / kBlockSize);
+  RecordSimEvents(sim);
   return Cell{wa.DataRatio(), wa.ParityRatio()};
 }
 
@@ -48,13 +49,24 @@ void Run() {
       "absorbed yet ALL partial-parity writes vanish (PP lives in the one-"
       "chunk ZRWA); no-cache reference = 1.0 data + 1.0 parity");
 
-  for (const TraceProfile& profile :
-       {TraceProfile::Casa(), TraceProfile::Online()}) {
+  const std::vector<TraceProfile> profiles = {TraceProfile::Casa(),
+                                              TraceProfile::Online()};
+  const std::vector<uint32_t> zrwa_sizes = {1u, 4u, 16u, 64u, 128u, 256u};
+  std::vector<std::function<Cell()>> jobs;
+  for (const TraceProfile& profile : profiles) {
+    for (uint32_t blocks : zrwa_sizes) {
+      jobs.push_back([profile, blocks]() { return RunSize(profile, blocks); });
+    }
+  }
+  const std::vector<Cell> results = RunExperiments(std::move(jobs));
+
+  size_t job_index = 0;
+  for (const TraceProfile& profile : profiles) {
     std::printf("--- %s ---\n", profile.name.c_str());
     std::printf("%10s %10s %10s %10s\n", "ZRWA", "data", "parity", "total");
     std::printf("%10s %10.3f %10.3f %10.3f   (no cache)\n", "0", 1.0, 1.0, 2.0);
-    for (uint32_t blocks : {1u, 4u, 16u, 64u, 128u, 256u}) {
-      const Cell cell = RunSize(profile, blocks);
+    for (uint32_t blocks : zrwa_sizes) {
+      const Cell cell = results[job_index++];
       std::printf("%8uKB %10.3f %10.3f %10.3f\n", blocks * 4, cell.data,
                   cell.parity, cell.data + cell.parity);
     }
@@ -66,6 +78,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig16_zrwa_sensitivity");
   biza::Run();
   return 0;
 }

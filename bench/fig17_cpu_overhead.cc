@@ -14,7 +14,13 @@
 namespace biza {
 namespace {
 
-void RunCase(PlatformKind kind, uint64_t req_blocks) {
+struct CpuCase {
+  double mbps = 0;
+  double usage_pct = 0;
+  std::map<std::string, double> component_pct;
+};
+
+CpuCase RunCase(PlatformKind kind, uint64_t req_blocks) {
   Simulator sim;
   PlatformConfig config = ThroughputConfig(23);
   auto platform = Platform::Create(&sim, kind, config);
@@ -26,18 +32,26 @@ void RunCase(PlatformKind kind, uint64_t req_blocks) {
 
   const auto cpu = platform->CpuBreakdown();
   SimTime total_ns = 0;
+  CpuCase result;
   for (const auto& [component, ns] : cpu) {
     total_ns += ns;
+    result.component_pct[component] =
+        static_cast<double>(ns) / static_cast<double>(elapsed) * 100.0;
   }
-  const double usage =
+  result.mbps = report.WriteMBps();
+  result.usage_pct =
       static_cast<double>(total_ns) / static_cast<double>(elapsed) * 100.0;
-  const double gbps = report.WriteMBps() / 1000.0;
+  RecordSimEvents(sim);
+  return result;
+}
+
+void PrintCase(PlatformKind kind, uint64_t req_blocks, const CpuCase& c) {
+  const double gbps = c.mbps / 1000.0;
   std::printf("%-16s %7lluK %9.0f %10.1f%% %12.1f", PlatformKindName(kind),
-              static_cast<unsigned long long>(req_blocks * 4),
-              report.WriteMBps(), usage, gbps > 0 ? usage / gbps : 0.0);
-  for (const auto& [component, ns] : cpu) {
-    std::printf("  %s=%.0f%%", component.c_str(),
-                static_cast<double>(ns) / static_cast<double>(elapsed) * 100.0);
+              static_cast<unsigned long long>(req_blocks * 4), c.mbps,
+              c.usage_pct, gbps > 0 ? c.usage_pct / gbps : 0.0);
+  for (const auto& [component, pct] : c.component_pct) {
+    std::printf("  %s=%.0f%%", component.c_str(), pct);
   }
   std::printf("\n");
 }
@@ -49,13 +63,24 @@ void Run() {
       "CPU; BIZA uses +31.5% CPU vs dmzap+RAIZN but has the best CPU "
       "efficiency (usage per GB/s) thanks to +88.5% throughput");
 
+  const std::vector<uint64_t> sizes = {16, 48};
+  const std::vector<PlatformKind> kinds = {
+      PlatformKind::kBiza, PlatformKind::kDmzapRaizn,
+      PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv};
+  std::vector<std::function<CpuCase()>> jobs;
+  for (uint64_t blocks : sizes) {
+    for (PlatformKind kind : kinds) {
+      jobs.push_back([kind, blocks]() { return RunCase(kind, blocks); });
+    }
+  }
+  const std::vector<CpuCase> results = RunExperiments(std::move(jobs));
+
   std::printf("%-16s %8s %9s %11s %12s  per-component usage\n", "platform",
               "size", "MB/s", "CPU usage", "CPU/GBps");
-  for (uint64_t blocks : {16ull, 48ull}) {
-    for (PlatformKind kind :
-         {PlatformKind::kBiza, PlatformKind::kDmzapRaizn,
-          PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv}) {
-      RunCase(kind, blocks);
+  size_t job_index = 0;
+  for (uint64_t blocks : sizes) {
+    for (PlatformKind kind : kinds) {
+      PrintCase(kind, blocks, results[job_index++]);
     }
     std::printf("\n");
   }
@@ -65,6 +90,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("fig17_cpu_overhead");
   biza::Run();
   return 0;
 }

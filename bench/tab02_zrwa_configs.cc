@@ -42,6 +42,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("tab02_zrwa_configs");
   biza::Run();
   return 0;
 }

@@ -171,12 +171,16 @@ void Run() {
               same_verdict ? "SAME" : "DIFFERENT");
   std::printf("  pair on two channels  : diagnosed %s (truth: DIFFERENT)\n",
               diff_verdict ? "SAME" : "DIFFERENT");
+  // Scenarios share one device (channel relationships span them), so this
+  // bench stays sequential; it still reports its simulation rate.
+  RecordSimEvents(sim);
 }
 
 }  // namespace
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("tab03_inter_zone");
   biza::Run();
   return 0;
 }

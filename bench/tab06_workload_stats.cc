@@ -17,21 +17,40 @@ void Run() {
       "4-64 KB; casa: 91.7% of chunks reuse within 56 MB; tencent: 90.2% "
       "beyond 56 MB");
 
+  struct StatRow {
+    double write_pct = 0;
+    double avg_wr_kb = 0;
+    double avg_rd_kb = 0;
+    double reuse_pct = 0;
+  };
+  const std::vector<TraceProfile> profiles = TraceProfile::AllTable6();
+  std::vector<std::function<StatRow()>> jobs;
+  for (const TraceProfile& profile : profiles) {
+    jobs.push_back([profile]() {
+      SyntheticTrace trace(profile);
+      TraceStats stats;
+      for (int i = 0; i < 150000; ++i) {
+        stats.Observe(trace.Next());
+      }
+      return StatRow{stats.write_ratio() * 100.0, stats.avg_write_kb(),
+                     stats.avg_read_kb(),
+                     stats.ReuseCdfAt(56 * kMiB) * 100.0};
+    });
+  }
+  const auto results = RunExperiments(std::move(jobs));
+
   std::printf("%-10s %16s %18s %18s %14s\n", "trace", "write%% (tgt)",
               "avg wr KB (tgt)", "avg rd KB (tgt)", "reuse<56MB");
-  for (const TraceProfile& profile : TraceProfile::AllTable6()) {
-    SyntheticTrace trace(profile);
-    TraceStats stats;
-    for (int i = 0; i < 150000; ++i) {
-      stats.Observe(trace.Next());
-    }
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const TraceProfile& profile = profiles[i];
+    const StatRow& row = results[i];
     std::printf("%-10s %7.1f (%5.1f) %9.1f (%6.1f) %9.1f (%6.1f) %12.1f%%\n",
-                profile.name.c_str(), stats.write_ratio() * 100.0,
-                profile.write_ratio * 100.0, stats.avg_write_kb(),
+                profile.name.c_str(), row.write_pct,
+                profile.write_ratio * 100.0, row.avg_wr_kb,
                 static_cast<double>(profile.avg_write_blocks * 4),
-                stats.avg_read_kb(),
+                row.avg_rd_kb,
                 static_cast<double>(profile.avg_read_blocks * 4),
-                stats.ReuseCdfAt(56 * kMiB) * 100.0);
+                row.reuse_pct);
   }
 }
 
@@ -39,6 +58,7 @@ void Run() {
 }  // namespace biza
 
 int main() {
+  biza::BenchMetricScope metrics("tab06_workload_stats");
   biza::Run();
   return 0;
 }

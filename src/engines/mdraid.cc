@@ -161,8 +161,13 @@ void Mdraid::OnTimer() {
       snapshot->push_back(stripe);
     }
     std::sort(snapshot->begin(), snapshot->end());
+    // The step closure must not capture its own shared_ptr (that cycle
+    // leaks one closure per flush); the strong reference is instead carried
+    // by each pending continuation, so the chain keeps itself alive exactly
+    // until its last link fires.
     auto step = std::make_shared<std::function<void(size_t)>>();
-    *step = [this, snapshot, step](size_t index) {
+    std::weak_ptr<std::function<void(size_t)>> weak_step = step;
+    *step = [this, snapshot, weak_step](size_t index) {
       if (index >= snapshot->size()) {
         flush_in_progress_ = false;
         MaybeReleaseStalled();
@@ -173,7 +178,8 @@ void Mdraid::OnTimer() {
           std::min(index + config_.flush_run_stripes, snapshot->size());
       std::vector<uint64_t> run(snapshot->begin() + static_cast<long>(index),
                                 snapshot->begin() + static_cast<long>(end));
-      FlushStripeRun(std::move(run), [step, end]() { (*step)(end); });
+      auto self = weak_step.lock();
+      FlushStripeRun(std::move(run), [self, end]() { (*self)(end); });
     };
     (*step)(0);
   } else {

@@ -1,0 +1,18 @@
+#include "src/sim/parallel_runner.h"
+
+#include <cstdlib>
+
+namespace biza {
+
+int DefaultExperimentThreads() {
+  if (const char* env = std::getenv("BIZA_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace biza

@@ -19,6 +19,24 @@ bool Driver::ShouldStop() const {
   return issued_ >= max_requests_ || sim_->Now() >= deadline_;
 }
 
+std::vector<uint64_t> Driver::TakePatternBuffer(uint64_t nblocks) {
+  std::vector<uint64_t> buffer;
+  if (!spare_patterns_.empty()) {
+    buffer = std::move(spare_patterns_.back());
+    spare_patterns_.pop_back();
+  }
+  buffer.resize(nblocks);
+  return buffer;
+}
+
+void Driver::RecyclePatternBuffer(std::vector<uint64_t>&& buffer) {
+  // Cap the pool at iodepth scale; beyond that buffers are just ballast.
+  constexpr size_t kMaxSpare = 64;
+  if (buffer.capacity() > 0 && spare_patterns_.size() < kMaxSpare) {
+    spare_patterns_.push_back(std::move(buffer));
+  }
+}
+
 void Driver::IssueLoop() {
   if (arrival_interval_ns_ > 0) {
     return;  // open-loop: arrivals are paced by the timer, not completions
@@ -51,7 +69,7 @@ void Driver::IssueOne() {
   epoch_++;
   const SimTime submit = sim_->Now();
   if (req.is_write) {
-    std::vector<uint64_t> patterns(req.nblocks);
+    std::vector<uint64_t> patterns = TakePatternBuffer(req.nblocks);
     for (uint64_t i = 0; i < req.nblocks; ++i) {
       patterns[i] = PatternFor(req.offset_blocks + i, epoch_);
       if (verify_reads_) {
@@ -90,6 +108,7 @@ void Driver::IssueOne() {
               }
             }
           }
+          RecyclePatternBuffer(std::move(patterns));
           report_.requests_completed++;
           report_.read_latency.Record(sim_->Now() - submit);
           last_completion_ = sim_->Now();

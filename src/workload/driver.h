@@ -73,6 +73,13 @@ class Driver {
   void IssueOne();
   bool ShouldStop() const;
 
+  // Pattern-buffer pool: completed reads donate their vectors back so the
+  // write path stops allocating a fresh std::vector per issued request.
+  // (Writes hand their vector to the target, which consumes it, so the pool
+  // is refilled by read completions and capped at iodepth-scale.)
+  std::vector<uint64_t> TakePatternBuffer(uint64_t nblocks);
+  void RecyclePatternBuffer(std::vector<uint64_t>&& buffer);
+
   Simulator* sim_;
   BlockTarget* target_;
   WorkloadGenerator* generator_;
@@ -90,6 +97,7 @@ class Driver {
   SimTime last_completion_ = 0;
 
   std::unordered_map<uint64_t, uint64_t> expected_;  // verify mode
+  std::vector<std::vector<uint64_t>> spare_patterns_;
 
   DriverReport report_;
 };

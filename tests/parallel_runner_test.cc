@@ -1,0 +1,147 @@
+// Tests for the parallel experiment runner: results arrive in submission
+// order, exceptions propagate, and — the property everything downstream
+// relies on — a full platform experiment produces bit-identical results no
+// matter how many worker threads execute the batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/parallel_runner.h"
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+namespace {
+
+TEST(ParallelRunner, ResultsInSubmissionOrder) {
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 64; ++i) {
+    jobs.push_back([i]() { return i * i; });
+  }
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::function<int()>> copy = jobs;
+    const std::vector<int> results = RunExperiments(std::move(copy), threads);
+    ASSERT_EQ(results.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+    }
+  }
+}
+
+TEST(ParallelRunner, RunsEveryJobExactlyOnce) {
+  std::atomic<int> executions{0};
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back([&executions]() { return ++executions; });
+  }
+  const std::vector<int> results = RunExperiments(std::move(jobs), 4);
+  EXPECT_EQ(executions.load(), 100);
+  EXPECT_EQ(results.size(), 100u);
+}
+
+TEST(ParallelRunner, PropagatesExceptions) {
+  std::vector<std::function<int()>> jobs;
+  jobs.push_back([]() { return 1; });
+  jobs.push_back([]() -> int { throw std::runtime_error("boom"); });
+  jobs.push_back([]() { return 3; });
+  EXPECT_THROW(RunExperiments(std::move(jobs), 2), std::runtime_error);
+}
+
+TEST(ParallelRunner, DefaultThreadsIsPositive) {
+  EXPECT_GE(DefaultExperimentThreads(), 1);
+}
+
+// The load-bearing property: simulations on separate Simulator instances
+// share no mutable state, so a sweep run on N threads must produce the
+// exact same DriverReports as the same sweep run sequentially.
+struct ExperimentResult {
+  uint64_t requests_completed;
+  uint64_t bytes_written;
+  uint64_t bytes_read;
+  uint64_t verify_failures;
+  SimTime elapsed_ns;
+  uint64_t fired_events;
+  SimTime write_p50;
+  SimTime write_p99;
+  SimTime read_p50;
+
+  bool operator==(const ExperimentResult&) const = default;
+};
+
+ExperimentResult RunOne(PlatformKind kind, uint64_t seed) {
+  Simulator sim;
+  PlatformConfig config;
+  config.zns =
+      ZnsConfig::Zn540(/*num_zones=*/64, /*zone_capacity_blocks=*/1024);
+  config.MatchConvCapacity();
+  config.seed = seed;
+  auto platform = Platform::Create(&sim, kind, config);
+  BlockTarget* target = platform->block();
+
+  TraceProfile profile = TraceProfile::AllTable6()[0];
+  profile.footprint_blocks =
+      std::min<uint64_t>(profile.footprint_blocks, target->capacity_blocks() / 3);
+  profile.seed = 11 + seed;
+  SyntheticTrace trace(profile);
+
+  Driver driver(&sim, target, &trace, /*iodepth=*/16, /*verify_reads=*/true);
+  const DriverReport report = driver.Run(1500, 60 * kSecond);
+  platform->Quiesce(&sim);
+
+  ExperimentResult result{};
+  result.requests_completed = report.requests_completed;
+  result.bytes_written = report.bytes_written;
+  result.bytes_read = report.bytes_read;
+  result.verify_failures = report.verify_failures;
+  result.elapsed_ns = report.elapsed_ns;
+  result.fired_events = sim.fired_events();
+  result.write_p50 = report.write_latency.Percentile(50.0);
+  result.write_p99 = report.write_latency.Percentile(99.0);
+  result.read_p50 = report.read_latency.Percentile(50.0);
+  return result;
+}
+
+TEST(ParallelRunner, ExperimentsAreThreadCountInvariant) {
+  const std::vector<std::pair<PlatformKind, uint64_t>> sweep = {
+      {PlatformKind::kBiza, 1},
+      {PlatformKind::kBiza, 2},
+      {PlatformKind::kDmzapRaizn, 1},
+      {PlatformKind::kMdraidConv, 1},
+  };
+  auto make_jobs = [&sweep]() {
+    std::vector<std::function<ExperimentResult()>> jobs;
+    for (const auto& [kind, seed] : sweep) {
+      jobs.push_back([kind = kind, seed = seed]() { return RunOne(kind, seed); });
+    }
+    return jobs;
+  };
+
+  const std::vector<ExperimentResult> sequential =
+      RunExperiments(make_jobs(), 1);
+  const std::vector<ExperimentResult> fourway = RunExperiments(make_jobs(), 4);
+  const std::vector<ExperimentResult> twoway = RunExperiments(make_jobs(), 2);
+
+  ASSERT_EQ(sequential.size(), sweep.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_TRUE(sequential[i] == fourway[i]) << "sweep entry " << i;
+    EXPECT_TRUE(sequential[i] == twoway[i]) << "sweep entry " << i;
+  }
+  // Sanity: the experiments did real work.
+  EXPECT_EQ(sequential[0].requests_completed, 1500u);
+  EXPECT_GT(sequential[0].fired_events, 1500u);
+  EXPECT_EQ(sequential[0].verify_failures, 0u);
+  // Different seeds genuinely change the run (guards against the comparison
+  // passing because everything degenerated to identical zeros).
+  EXPECT_FALSE(sequential[0] == sequential[1]);
+}
+
+}  // namespace
+}  // namespace biza

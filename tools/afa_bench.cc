@@ -6,15 +6,25 @@
 //             [--requests=N] [--iodepth=N] [--size-kb=N] [--seconds=S]
 //             [--zones=N] [--zone-mb=N] [--zrwa-kb=N] [--num-parity=M]
 //             [--deviation=P] [--expose-channels] [--verify]
+//             [--seeds=N] [--threads=T]
 //
 //   afa_bench --list            # platforms and workloads
+//
+// --seeds=N repeats the experiment with N different RNG seeds (independent
+// Simulator per seed, run concurrently via the parallel runner) and reports
+// a per-seed row plus the mean; --threads caps runner concurrency (default:
+// BIZA_THREADS env or hardware concurrency).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/metrics/wa_report.h"
+#include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
 #include "src/testbed/platforms.h"
 #include "src/workload/app_workloads.h"
@@ -39,6 +49,8 @@ struct Options {
   double deviation = 0.0;
   bool expose_channels = false;
   bool verify = false;
+  int seeds = 1;
+  int threads = 0;  // 0 = DefaultExperimentThreads()
 };
 
 void PrintUsage() {
@@ -52,7 +64,8 @@ void PrintUsage() {
       "            fillseekseq\n"
       "options   : --requests=N --iodepth=N --size-kb=N --seconds=S\n"
       "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
-      "            --deviation=P --expose-channels --verify\n");
+      "            --deviation=P --expose-channels --verify\n"
+      "            --seeds=N --threads=T\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -79,18 +92,20 @@ PlatformKind KindFromName(const std::string& name) {
 
 std::unique_ptr<WorkloadGenerator> MakeWorkload(const std::string& name,
                                                 uint64_t size_blocks,
-                                                uint64_t footprint) {
+                                                uint64_t footprint,
+                                                uint64_t seed_offset) {
   if (name == "seqwrite" || name == "randwrite" || name == "seqread" ||
       name == "randread") {
     const bool seq = name[0] == 's';
     const bool write = name.find("write") != std::string::npos;
     return std::make_unique<MicroWorkload>(seq, write, size_blocks, footprint,
-                                           7);
+                                           7 + seed_offset);
   }
   for (const TraceProfile& profile : TraceProfile::AllTable6()) {
     if (profile.name == name) {
       TraceProfile clipped = profile;
       clipped.footprint_blocks = std::min(clipped.footprint_blocks, footprint);
+      clipped.seed += seed_offset;
       return std::make_unique<SyntheticTrace>(clipped);
     }
   }
@@ -102,11 +117,90 @@ std::unique_ptr<WorkloadGenerator> MakeWorkload(const std::string& name,
     if (profile.name == name) {
       AppProfile clipped = profile;
       clipped.footprint_blocks = std::min(clipped.footprint_blocks, footprint);
+      clipped.seed += seed_offset;
       return std::make_unique<AppWorkload>(clipped);
     }
   }
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   exit(2);
+}
+
+// One complete experiment: its own Simulator, platform, and workload. No
+// printing happens in here — results are collected and printed by main in
+// seed order, so output is identical regardless of --threads.
+struct RunResult {
+  std::string platform_name;
+  uint64_t capacity_blocks = 0;
+  DriverReport report;
+  WaBreakdown wa;
+  std::map<std::string, SimTime> cpu;
+};
+
+RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
+  Simulator sim;
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(opt.zones, opt.zone_mb * kMiB / kBlockSize);
+  config.zns.zrwa_blocks = static_cast<uint32_t>(opt.zrwa_kb / 4);
+  config.zns.wear_level_deviation = opt.deviation;
+  config.zns.expose_channel_on_open = opt.expose_channels;
+  config.biza.num_parity = opt.num_parity;
+  config.seed += seed_offset;
+  config.zns.seed += seed_offset;
+  config.MatchConvCapacity();
+
+  auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
+  BlockTarget* target = platform->block();
+
+  const uint64_t size_blocks = std::max<uint64_t>(1, opt.size_kb / 4);
+  auto workload = MakeWorkload(opt.workload, size_blocks,
+                               target->capacity_blocks() / 2, seed_offset);
+
+  if (opt.workload.find("read") != std::string::npos) {
+    Driver::Fill(&sim, target, target->capacity_blocks() / 2, 64);
+  }
+
+  Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
+  RunResult result;
+  result.report =
+      driver.Run(opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
+  platform->Quiesce(&sim);
+  result.platform_name = platform->name();
+  result.capacity_blocks = target->capacity_blocks();
+  result.wa = platform->CollectWa(result.report.bytes_written / kBlockSize);
+  result.cpu = platform->CpuBreakdown();
+  return result;
+}
+
+void PrintResult(const Options& opt, const RunResult& result) {
+  const DriverReport& report = result.report;
+  std::printf("workload %-16s %llu requests in %.3f s virtual\n",
+              opt.workload.c_str(),
+              static_cast<unsigned long long>(report.requests_completed),
+              static_cast<double>(report.elapsed_ns) / 1e9);
+  std::printf("  write: %8.1f MB/s   %s\n", report.WriteMBps(),
+              report.write_latency.count() > 0
+                  ? report.write_latency.Summary().c_str()
+                  : "-");
+  std::printf("  read : %8.1f MB/s   %s\n", report.ReadMBps(),
+              report.read_latency.count() > 0
+                  ? report.read_latency.Summary().c_str()
+                  : "-");
+  if (report.bytes_written > 0) {
+    std::printf("  WA   : data %.3fx + parity %.3fx = %.3fx\n",
+                result.wa.DataRatio(), result.wa.ParityRatio(),
+                result.wa.TotalRatio());
+  }
+  if (opt.verify) {
+    std::printf("  verify failures: %llu\n",
+                static_cast<unsigned long long>(report.verify_failures));
+  }
+  std::printf("  cpu  :");
+  for (const auto& [component, ns] : result.cpu) {
+    std::printf(" %s=%.0f%%", component.c_str(),
+                static_cast<double>(ns) /
+                    static_cast<double>(report.elapsed_ns) * 100.0);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -144,6 +238,10 @@ int main(int argc, char** argv) {
       opt.expose_channels = true;
     } else if (strcmp(argv[i], "--verify") == 0) {
       opt.verify = true;
+    } else if (ParseFlag(argv[i], "--seeds", &value)) {
+      opt.seeds = std::max(1, atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      opt.threads = atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag %s\n\n", argv[i]);
       PrintUsage();
@@ -151,67 +249,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  Simulator sim;
-  PlatformConfig config;
-  config.zns = ZnsConfig::Zn540(opt.zones,
-                                opt.zone_mb * kMiB / kBlockSize);
-  config.zns.zrwa_blocks = static_cast<uint32_t>(opt.zrwa_kb / 4);
-  config.zns.wear_level_deviation = opt.deviation;
-  config.zns.expose_channel_on_open = opt.expose_channels;
-  config.biza.num_parity = opt.num_parity;
-  config.MatchConvCapacity();
+  // One job per seed, each on its own Simulator; results come back in
+  // submission order so the printed output is thread-count independent.
+  std::vector<std::function<RunResult()>> jobs;
+  jobs.reserve(static_cast<size_t>(opt.seeds));
+  for (int s = 0; s < opt.seeds; ++s) {
+    jobs.push_back(
+        [&opt, s]() { return RunExperiment(opt, static_cast<uint64_t>(s)); });
+  }
+  const std::vector<RunResult> results =
+      RunExperiments(std::move(jobs), opt.threads);
 
-  auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
-  BlockTarget* target = platform->block();
   std::printf("platform %-16s capacity %.0f MiB  (%u zones x %llu MiB, "
               "ZRWA %llu KiB, m=%d)\n",
-              platform->name().c_str(),
-              static_cast<double>(target->capacity_blocks()) * 4 / 1024,
+              results[0].platform_name.c_str(),
+              static_cast<double>(results[0].capacity_blocks) * 4 / 1024,
               opt.zones, static_cast<unsigned long long>(opt.zone_mb),
               static_cast<unsigned long long>(opt.zrwa_kb), opt.num_parity);
 
-  const uint64_t size_blocks = std::max<uint64_t>(1, opt.size_kb / 4);
-  auto workload =
-      MakeWorkload(opt.workload, size_blocks, target->capacity_blocks() / 2);
-
-  if (opt.workload.find("read") != std::string::npos) {
-    Driver::Fill(&sim, target, target->capacity_blocks() / 2, 64);
+  double mean_write = 0.0, mean_read = 0.0, mean_wa = 0.0;
+  for (int s = 0; s < opt.seeds; ++s) {
+    if (opt.seeds > 1) {
+      std::printf("-- seed %d --\n", s);
+    }
+    PrintResult(opt, results[static_cast<size_t>(s)]);
+    mean_write += results[static_cast<size_t>(s)].report.WriteMBps();
+    mean_read += results[static_cast<size_t>(s)].report.ReadMBps();
+    mean_wa += results[static_cast<size_t>(s)].wa.TotalRatio();
   }
-
-  Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
-  const DriverReport report = driver.Run(
-      opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
-  platform->Quiesce(&sim);
-
-  const WaBreakdown wa =
-      platform->CollectWa(report.bytes_written / kBlockSize);
-  std::printf("workload %-16s %llu requests in %.3f s virtual\n",
-              opt.workload.c_str(),
-              static_cast<unsigned long long>(report.requests_completed),
-              static_cast<double>(report.elapsed_ns) / 1e9);
-  std::printf("  write: %8.1f MB/s   %s\n", report.WriteMBps(),
-              report.write_latency.count() > 0
-                  ? report.write_latency.Summary().c_str()
-                  : "-");
-  std::printf("  read : %8.1f MB/s   %s\n", report.ReadMBps(),
-              report.read_latency.count() > 0
-                  ? report.read_latency.Summary().c_str()
-                  : "-");
-  if (report.bytes_written > 0) {
-    std::printf("  WA   : data %.3fx + parity %.3fx = %.3fx\n", wa.DataRatio(),
-                wa.ParityRatio(), wa.TotalRatio());
+  if (opt.seeds > 1) {
+    const double n = static_cast<double>(opt.seeds);
+    std::printf("mean over %d seeds: write %.1f MB/s  read %.1f MB/s  "
+                "WA %.3fx\n",
+                opt.seeds, mean_write / n, mean_read / n, mean_wa / n);
   }
-  if (opt.verify) {
-    std::printf("  verify failures: %llu\n",
-                static_cast<unsigned long long>(report.verify_failures));
-  }
-  const auto cpu = platform->CpuBreakdown();
-  std::printf("  cpu  :");
-  for (const auto& [component, ns] : cpu) {
-    std::printf(" %s=%.0f%%", component.c_str(),
-                static_cast<double>(ns) /
-                    static_cast<double>(report.elapsed_ns) * 100.0);
-  }
-  std::printf("\n");
   return 0;
 }

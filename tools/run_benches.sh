@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the benchmark suite, recording performance
+# numbers into BENCH_sim.json at the repo root:
+#
+#   - bench/sim_perf (google-benchmark): event-queue throughput, old vs new
+#     implementation, median of --repetitions runs.
+#   - every figure/table bench binary: each prints one BENCH_METRIC JSON line
+#     (wall-clock seconds, simulated events, events/sec) via BenchMetricScope.
+#
+# Usage:
+#   tools/run_benches.sh             # sim_perf + all figure/table benches
+#   tools/run_benches.sh --quick     # sim_perf only (seconds, not minutes)
+#
+# Honors BIZA_THREADS for the parallel experiment runner inside the benches.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+out_json="${repo_root}/BENCH_sim.json"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+echo "== sim_perf (event-queue microbenchmark) =="
+"${build_dir}/bench/sim_perf" \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${tmp_dir}/sim_perf.json" \
+  --benchmark_out_format=json
+
+metric_lines="${tmp_dir}/metrics.jsonl"
+: > "${metric_lines}"
+if [[ "${quick}" -eq 1 && -f "${out_json}" ]]; then
+  # Quick mode refreshes sim_perf only; keep the last full run's metrics.
+  jq -r '.bench_metrics[]? | @json' "${out_json}" >> "${metric_lines}" || true
+fi
+if [[ "${quick}" -eq 0 ]]; then
+  for bench in "${build_dir}"/bench/*; do
+    name="$(basename "${bench}")"
+    [[ -f "${bench}" && -x "${bench}" ]] || continue
+    case "${name}" in
+      sim_perf|micro_components) continue ;;  # google-benchmark binaries
+    esac
+    echo "== ${name} =="
+    "${bench}" | tee "${tmp_dir}/${name}.out" | grep '^BENCH_METRIC ' \
+      | sed 's/^BENCH_METRIC //' >> "${metric_lines}" || true
+  done
+fi
+
+jq -n \
+  --slurpfile perf "${tmp_dir}/sim_perf.json" \
+  --slurpfile metrics <(cat "${metric_lines}" 2>/dev/null; true) \
+  '{
+     generated_by: "tools/run_benches.sh",
+     sim_perf: ($perf[0].benchmarks
+                | map(select(.run_type == "aggregate" and
+                             .aggregate_name == "median")
+                      | {name, items_per_second})),
+     bench_metrics: $metrics
+   }' > "${out_json}"
+
+echo "wrote ${out_json}"
+jq '.sim_perf' "${out_json}"
