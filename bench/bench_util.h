@@ -9,10 +9,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
@@ -59,6 +63,62 @@ inline double IdealWriteMBps(const PlatformConfig& config) {
 
 inline double IdealReadMBps(const PlatformConfig& config) {
   return static_cast<double>(config.num_ssds) * config.zns.timing.ctrl_read_mbps;
+}
+
+// ---------------------------------------------------------------------------
+// Seed replication.
+//
+// Figure benches run every data point BenchSeeds() times (default 5,
+// override with BIZA_BENCH_SEEDS=N) with shifted RNG seeds and report
+// mean ± stddev, so single-seed noise can't masquerade as a paper effect.
+
+inline int BenchSeeds() {
+  if (const char* env = std::getenv("BIZA_BENCH_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 5;
+}
+
+struct SeedStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline SeedStat MeanStddev(const std::vector<double>& xs) {
+  SeedStat out;
+  if (xs.empty()) {
+    return out;
+  }
+  for (double x : xs) {
+    out.mean += x;
+  }
+  out.mean /= static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) {
+      ss += (x - out.mean) * (x - out.mean);
+    }
+    out.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return out;
+}
+
+// Runs `job(seed)` for seeds 0..BenchSeeds()-1, concurrently via the
+// parallel experiment runner, and returns the per-seed results in seed
+// order. T is whatever the job returns.
+template <typename F>
+auto RunSeeded(F job) -> std::vector<decltype(job(uint64_t{0}))> {
+  using T = decltype(job(uint64_t{0}));
+  std::vector<std::function<T()>> jobs;
+  const int n = BenchSeeds();
+  jobs.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    jobs.push_back([job, s]() { return job(static_cast<uint64_t>(s)); });
+  }
+  return RunExperiments(std::move(jobs));
 }
 
 // Runs a write microbenchmark on a block platform. RAIZN (zoned) callers use

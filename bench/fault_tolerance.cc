@@ -1,0 +1,157 @@
+// Fault tolerance: write latency percentiles (p50/p99/p99.9) and throughput
+// for BIZA under the fault-plane scenarios the paper's AFA setting implies
+// but does not measure:
+//
+//   healthy    — no faults (baseline)
+//   fail-slow  — one member completes media work 4x slower (gray failure)
+//   degraded   — one member dead: chunk writes skip it (parity-only
+//                phantoms), reads of its chunks reconstruct from survivors
+//   rebuild    — one member hot-swapped for a fresh spare; the online
+//                rebuild sweep competes with foreground I/O
+//
+// Expected shape: fail-slow inflates the tail far more than the median (the
+// slow member gates one in n stripes); degraded mode costs extra reads on
+// reconstruction but keeps writes near-healthy (phantom chunks skip one
+// program); rebuild adds migration traffic throttled to stay off the
+// foreground path's tail.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace biza {
+namespace {
+
+enum class Mode { kHealthy, kFailSlow, kDegraded, kRebuild };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kHealthy:
+      return "healthy";
+    case Mode::kFailSlow:
+      return "fail-slow(4x)";
+    case Mode::kDegraded:
+      return "degraded";
+    case Mode::kRebuild:
+      return "rebuild";
+  }
+  return "?";
+}
+
+struct FtResult {
+  double write_mbps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double degraded_writes = 0;
+  double degraded_reads = 0;
+  double rebuild_blocks = 0;
+};
+
+FtResult RunCase(Mode mode, uint64_t seed) {
+  Simulator sim;
+  PlatformConfig config = BenchConfig(3 + seed);
+  if (mode == Mode::kFailSlow) {
+    config.faults.Device(1).latency_mult = 4.0;
+  }
+  auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
+  BlockTarget* target = platform->block();
+
+  // Steady-state data set so degraded reads and the rebuild sweep have real
+  // content to reconstruct.
+  const uint64_t footprint = target->capacity_blocks() / 2;
+  Driver::Fill(&sim, target, footprint, 64);
+
+  if (mode == Mode::kDegraded || mode == Mode::kRebuild) {
+    platform->biza()->SetDeviceFailed(1, true);
+  }
+  if (mode == Mode::kRebuild) {
+    ZnsDevice* spare = platform->AddSpareZnsDevice(&sim);
+    const Status s = platform->biza()->ReplaceDevice(1, spare);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ReplaceDevice: %s\n", s.ToString().c_str());
+    }
+  }
+
+  // Mixed 16 KiB random updates over the filled footprint, measured while
+  // the fault (and, for rebuild, the sweep) is active.
+  MicroWorkload workload(false, true, 4, footprint, 17 + seed);
+  Driver driver(&sim, target, &workload, /*iodepth=*/32);
+  const DriverReport report = driver.Run(20000, 2 * kSecond);
+
+  FtResult result;
+  result.write_mbps = report.WriteMBps();
+  result.p50_us = static_cast<double>(report.write_latency.Percentile(50)) / 1e3;
+  result.p99_us = static_cast<double>(report.write_latency.Percentile(99)) / 1e3;
+  result.p999_us =
+      static_cast<double>(report.write_latency.Percentile(99.9)) / 1e3;
+  const BizaStats& stats = platform->biza()->stats();
+  result.degraded_writes = static_cast<double>(stats.degraded_writes);
+  result.degraded_reads = static_cast<double>(stats.degraded_reads);
+  if (mode == Mode::kRebuild) {
+    sim.RunUntilIdle();  // drain the sweep for the migration count
+    result.rebuild_blocks =
+        static_cast<double>(platform->biza()->rebuild().chunks_migrated);
+  }
+  RecordSimEvents(sim);
+  return result;
+}
+
+void Run() {
+  PrintTitle("Fault tolerance",
+             "BIZA write tails under fail-slow, degraded mode, and rebuild");
+  PrintPaperNote(
+      "fail-slow gates the tail, not the median; degraded writes stay "
+      "near-healthy (phantom chunks skip one program); the throttled "
+      "rebuild sweep bounds its tail impact");
+
+  const std::vector<Mode> modes = {Mode::kHealthy, Mode::kFailSlow,
+                                   Mode::kDegraded, Mode::kRebuild};
+  const int nseeds = BenchSeeds();
+  std::printf("%d seeds per mode, mean±stddev\n\n", nseeds);
+
+  std::vector<std::function<FtResult()>> jobs;
+  for (Mode mode : modes) {
+    for (int s = 0; s < nseeds; ++s) {
+      jobs.push_back(
+          [mode, s]() { return RunCase(mode, static_cast<uint64_t>(s)); });
+    }
+  }
+  const std::vector<FtResult> results = RunExperiments(std::move(jobs));
+
+  std::printf("%-14s %16s %14s %14s %14s %11s %11s %9s\n", "mode",
+              "write MB/s", "p50 (us)", "p99 (us)", "p99.9 (us)", "degr_wr",
+              "degr_rd", "rebuilt");
+  size_t job_index = 0;
+  for (Mode mode : modes) {
+    std::vector<double> mbps, p50, p99, p999, dw, dr, rb;
+    for (int s = 0; s < nseeds; ++s) {
+      const FtResult& r = results[job_index++];
+      mbps.push_back(r.write_mbps);
+      p50.push_back(r.p50_us);
+      p99.push_back(r.p99_us);
+      p999.push_back(r.p999_us);
+      dw.push_back(r.degraded_writes);
+      dr.push_back(r.degraded_reads);
+      rb.push_back(r.rebuild_blocks);
+    }
+    const SeedStat m = MeanStddev(mbps);
+    const SeedStat a = MeanStddev(p50);
+    const SeedStat b = MeanStddev(p99);
+    const SeedStat c = MeanStddev(p999);
+    std::printf("%-14s %9.0f±%-5.0f %9.0f±%-4.0f %9.0f±%-4.0f %9.0f±%-4.0f "
+                "%11.0f %11.0f %9.0f\n",
+                ModeName(mode), m.mean, m.stddev, a.mean, a.stddev, b.mean,
+                b.stddev, c.mean, c.stddev, MeanStddev(dw).mean,
+                MeanStddev(dr).mean, MeanStddev(rb).mean);
+  }
+}
+
+}  // namespace
+}  // namespace biza
+
+int main() {
+  biza::BenchMetricScope metrics("fault_tolerance");
+  biza::Run();
+  return 0;
+}

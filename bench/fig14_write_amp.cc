@@ -26,9 +26,9 @@ struct WaCell {
   double total() const { return data + parity; }
 };
 
-WaCell RunWa(PlatformKind kind, const TraceProfile& profile) {
+WaCell RunWa(PlatformKind kind, const TraceProfile& profile, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = BenchConfig(profile.seed + 3);
+  PlatformConfig config = BenchConfig(profile.seed + 3 + seed);
   // Fair buffers (§5.4): RAIZN gets a 56 MB-equivalent parity buffer,
   // mdraid's stripe cache is matched, BIZA uses its 56 MB of ZRWA.
   config.raizn.parity_buffer_entries = 14336;
@@ -36,6 +36,7 @@ WaCell RunWa(PlatformKind kind, const TraceProfile& profile) {
   auto platform = Platform::Create(&sim, kind, config);
 
   TraceProfile writes_only = profile;
+  writes_only.seed += seed;
   writes_only.write_ratio = 1.0;
   writes_only.footprint_blocks =
       std::min<uint64_t>(profile.footprint_blocks,
@@ -80,10 +81,16 @@ void Run() {
     }
     profiles.push_back(profile);
   }
+  const int nseeds = BenchSeeds();
+  std::printf("(%d seeds per cell, total shown as mean±stddev)\n", nseeds);
   std::vector<std::function<WaCell()>> jobs;
   for (const TraceProfile& profile : profiles) {
     for (PlatformKind kind : kinds) {
-      jobs.push_back([kind, profile]() { return RunWa(kind, profile); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([kind, profile, s]() {
+          return RunWa(kind, profile, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<WaCell> results = RunExperiments(std::move(jobs));
@@ -95,10 +102,17 @@ void Run() {
     std::printf("%-10s %5.2f+%4.2f  ", profile.name.c_str(), 1.0, 1.0);
     double row[4] = {};
     for (size_t i = 0; i < kinds.size(); ++i) {
-      const WaCell cell = results[job_index++];
-      std::printf("   %4.2f+%4.2f=%4.2f", cell.data, cell.parity,
-                  cell.total());
-      row[i] = cell.total();
+      std::vector<double> data, parity, total;
+      for (int s = 0; s < nseeds; ++s) {
+        const WaCell cell = results[job_index++];
+        data.push_back(cell.data);
+        parity.push_back(cell.parity);
+        total.push_back(cell.total());
+      }
+      const SeedStat t = MeanStddev(total);
+      std::printf("  %4.2f+%4.2f=%4.2f±%4.2f", MeanStddev(data).mean,
+                  MeanStddev(parity).mean, t.mean, t.stddev);
+      row[i] = t.mean;
     }
     std::printf("\n");
     best_baseline_total += std::min(row[0], row[1]);

@@ -19,9 +19,9 @@ struct TailResult {
 };
 
 TailResult RunCase(PlatformKind kind, uint64_t req_blocks, int iodepth,
-                   bool force_gc) {
+                   bool force_gc, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = BenchConfig(5);
+  PlatformConfig config = BenchConfig(5 + seed);
   // Moderate utilization: GC runs steadily without starving the allocator
   // (write stalls would otherwise dominate the extreme tail identically in
   // both variants and mask the avoidance effect).
@@ -33,13 +33,13 @@ TailResult RunCase(PlatformKind kind, uint64_t req_blocks, int iodepth,
     // Steady-state with reclaimable space: fill half, overwrite it twice.
     const uint64_t half = target->capacity_blocks() / 2;
     Driver::Fill(&sim, target, half);
-    MicroWorkload churn(false, true, 8, half, 11);
+    MicroWorkload churn(false, true, 8, half, 11 + seed);
     Driver churner(&sim, target, &churn, 16);
     churner.Run(2 * half / 8, 120 * kSecond);
   }
 
   const uint64_t footprint = target->capacity_blocks() / 4;
-  MicroWorkload workload(true, true, req_blocks, footprint, 3);
+  MicroWorkload workload(true, true, req_blocks, footprint, 3 + seed);
   Driver driver(&sim, target, &workload, iodepth);
   // The no-GC baseline must stay a single pass (no wrap, no overwrites, no
   // reclaim); the GC rows deliberately wrap to keep GC running.
@@ -59,9 +59,11 @@ void Run() {
       "depth 32 and 74.9% at depth 1 vs BIZAw/oAvoid");
 
   const std::vector<uint64_t> sizes = {1, 16, 48};
+  const int nseeds = BenchSeeds();
 
-  // Enqueue every (iodepth, platform, gc, size) cell as an independent job;
-  // the print loops below walk the results in the same order.
+  // Enqueue every (iodepth, platform, gc, size, seed) cell as an independent
+  // job; the print loops below walk the results in the same order, nseeds
+  // consecutive results per cell.
   std::vector<std::function<TailResult()>> jobs;
   for (int iodepth : {32, 1}) {
     for (auto kind : {PlatformKind::kBiza, PlatformKind::kBizaNoAvoid}) {
@@ -70,20 +72,25 @@ void Run() {
           continue;
         }
         for (uint64_t blocks : sizes) {
-          jobs.push_back([kind, blocks, iodepth, gc]() {
-            return RunCase(kind, blocks, iodepth, gc);
-          });
+          for (int s = 0; s < nseeds; ++s) {
+            jobs.push_back([kind, blocks, iodepth, gc, s]() {
+              return RunCase(kind, blocks, iodepth, gc,
+                             static_cast<uint64_t>(s));
+            });
+          }
         }
       }
     }
   }
   const std::vector<TailResult> results = RunExperiments(std::move(jobs));
 
+  std::printf("%d seeds per point, mean±stddev (BIZA_BENCH_SEEDS overrides)\n",
+              nseeds);
   size_t job_index = 0;
   for (int iodepth : {32, 1}) {
     std::printf("--- iodepth %d (%s-sensitive) ---\n", iodepth,
                 iodepth == 32 ? "throughput" : "latency");
-    std::printf("%-18s %22s %22s %22s\n", "platform", "4K p99/p99.99(us)",
+    std::printf("%-18s %26s %26s %26s\n", "platform", "4K p99/p99.99(us)",
                 "64K p99/p99.99", "192K p99/p99.99");
     double biza_tail = 0, noavoid_tail = 0;
     for (auto kind :
@@ -95,12 +102,20 @@ void Run() {
         std::printf("%-18s", gc ? PlatformKindName(kind) : "BIZA(no GC)");
         for (uint64_t blocks : sizes) {
           (void)blocks;
-          const TailResult r = results[job_index++];
-          std::printf("   %8.0f/%10.0f", r.p99_us, r.p9999_us);
+          std::vector<double> p99s, p9999s;
+          for (int s = 0; s < nseeds; ++s) {
+            const TailResult r = results[job_index++];
+            p99s.push_back(r.p99_us);
+            p9999s.push_back(r.p9999_us);
+          }
+          const SeedStat p99 = MeanStddev(p99s);
+          const SeedStat p9999 = MeanStddev(p9999s);
+          std::printf("  %6.0f±%-4.0f/%7.0f±%-5.0f", p99.mean, p99.stddev,
+                      p9999.mean, p9999.stddev);
           if (gc && kind == PlatformKind::kBiza) {
-            biza_tail += r.p9999_us;
+            biza_tail += p9999.mean;
           } else if (gc) {
-            noavoid_tail += r.p9999_us;
+            noavoid_tail += p9999.mean;
           }
         }
         std::printf("\n");

@@ -80,39 +80,43 @@ BizaArray::BizaArray(Simulator* sim, std::vector<ZnsDevice*> devices,
 
 void BizaArray::InitGroups() {
   // Open the initial zone groups on every device.
+  for (int d = 0; d < n_; ++d) {
+    InitDeviceGroups(d);
+  }
+}
+
+void BizaArray::InitDeviceGroups(int d) {
   const int group_sizes[kNumGroups] = {
       config_.zrwa_group_zones, config_.gc_aware_group_zones,
       config_.trivial_group_zones, config_.parity_group_zones,
       config_.gc_dest_zones};
-  for (int d = 0; d < n_; ++d) {
-    for (int g = 0; g < kNumGroups; ++g) {
-      groups_[static_cast<size_t>(d)][g].width =
-          static_cast<size_t>(group_sizes[g]);
-      for (int i = 0; i < group_sizes[g]; ++i) {
-        const bool ok = ReplenishGroup(d, static_cast<GroupKind>(g));
-        assert(ok && "device open-zone budget too small for the group plan");
-        (void)ok;
-      }
+  for (int g = 0; g < kNumGroups; ++g) {
+    groups_[static_cast<size_t>(d)][g].width =
+        static_cast<size_t>(group_sizes[g]);
+    for (int i = 0; i < group_sizes[g]; ++i) {
+      const bool ok = ReplenishGroup(d, static_cast<GroupKind>(g));
+      assert(ok && "device open-zone budget too small for the group plan");
+      (void)ok;
     }
-    // Start-up zone-to-zone diagnosis (§3.3): confirm the channels of the
-    // GC-destination zones — the zones whose BUSY attribution matters. The
-    // diagnosis procedure itself (pairwise latency probing) is exercised in
-    // bench/tab03_inter_zone; here we apply its result.
-    auto& gc_group = groups_[static_cast<size_t>(d)][kGroupGcDest];
-    int confirmed = 0;
-    for (uint32_t zone : gc_group.zones) {
-      if (confirmed >= config_.diagnosis_confirmed_zones) {
-        break;
-      }
-      detectors_[static_cast<size_t>(d)]->Confirm(
-          zone, devices_[static_cast<size_t>(d)]->DebugChannelOf(zone));
-      confirmed++;
+  }
+  // Start-up zone-to-zone diagnosis (§3.3): confirm the channels of the
+  // GC-destination zones — the zones whose BUSY attribution matters. The
+  // diagnosis procedure itself (pairwise latency probing) is exercised in
+  // bench/tab03_inter_zone; here we apply its result.
+  auto& gc_group = groups_[static_cast<size_t>(d)][kGroupGcDest];
+  int confirmed = 0;
+  for (uint32_t zone : gc_group.zones) {
+    if (confirmed >= config_.diagnosis_confirmed_zones) {
+      break;
     }
+    detectors_[static_cast<size_t>(d)]->Confirm(
+        zone, devices_[static_cast<size_t>(d)]->DebugChannelOf(zone));
+    confirmed++;
   }
 }
 
 ZoneScheduler* BizaArray::SchedOf(uint64_t pa) {
-  if (pa == kInvalidPa) {
+  if (pa == kInvalidPa || IsPhantomPa(pa)) {
     return nullptr;
   }
   DevZone& z = ZoneOf(PaDevice(pa), PaZone(pa));
@@ -152,7 +156,8 @@ bool BizaArray::ReplenishGroup(int device, GroupKind kind, bool emergency) {
     }
     z.use = ZoneUse::kActive;
     z.sched = std::make_unique<ZoneScheduler>(
-        devices_[static_cast<size_t>(device)], zone);
+        devices_[static_cast<size_t>(device)], zone, config_.max_io_retries,
+        config_.retry_backoff_base_ns, &stats_.write_retries);
     detectors_[static_cast<size_t>(device)]->OnZoneOpened(zone);
     // Future-ZNS (§6): if the device exposes the mapping in the OPEN
     // completion, confirm it outright — no guessing, no voting.
@@ -316,7 +321,8 @@ void BizaArray::MaybeFinishSeal(int device, uint32_t zone) {
 }
 
 void BizaArray::InvalidatePa(uint64_t pa) {
-  if (pa == kInvalidPa) {
+  // Phantom chunks were never written, so no zone holds a block for them.
+  if (pa == kInvalidPa || IsPhantomPa(pa)) {
     return;
   }
   DevZone& z = ZoneOf(PaDevice(pa), PaZone(pa));
@@ -367,10 +373,8 @@ void BizaArray::RecordCompletion(int device, uint32_t zone,
 // Write path
 // ---------------------------------------------------------------------------
 
-namespace {
-
 // Shared completion for all device writes spawned by one block request.
-struct WriteJoin {
+struct BizaArray::WriteJoin {
   int pending = 1;
   BlockTarget::WriteCallback cb;
   Status first_error;
@@ -386,8 +390,6 @@ struct WriteJoin {
     }
   }
 };
-
-}  // namespace
 
 void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                             WriteCallback cb, WriteTag tag) {
@@ -431,6 +433,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
         batch.start, std::move(batch.patterns), std::move(batch.oobs),
         [this, join, device, zone, submitted](const Status& status) {
           if (!status.ok()) {
+            if (status.code() == ErrorCode::kUnavailable) {
+              OnDeviceUnavailable(device);
+            }
             join->Fail(status);
           }
           RecordCompletion(device, zone, submitted);
@@ -482,7 +487,11 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     //    still inside their sliding windows (§4.1's relaxation).
     cpu_.Charge("biza", config_.costs.map_lookup_ns);
     BmtEntry& entry = bmt_[target];
-    if (entry.pa != kInvalidPa) {
+    // Stripes awaiting rebuild are pinned out-of-place: an in-place update
+    // would keep the stale stripe alive and the rebuild sweep could never
+    // drain it. Chunks on a dead member can't be updated in place either.
+    if (entry.pa != kInvalidPa && !StripeNeedsRebuild(entry.sn) &&
+        !device_failed_[static_cast<size_t>(PaDevice(entry.pa))]) {
       ZoneScheduler* dsched = SchedOf(entry.pa);
       const uint64_t doff = PaOffset(entry.pa);
       if (dsched != nullptr && dsched->CanUpdateInPlace(doff)) {
@@ -515,6 +524,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
               {OobRecord{target, entry.sn, tag}},
               [this, join, release, device, zone, submitted](const Status& s) {
                 if (!s.ok()) {
+                  if (s.code() == ErrorCode::kUnavailable) {
+                    OnDeviceUnavailable(device);
+                  }
                   join->Fail(s);
                 }
                 RecordCompletion(device, zone, submitted);
@@ -534,6 +546,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
           const uint64_t ppa = stripe.parity_pa[static_cast<size_t>(row)];
           ZoneScheduler* psched = SchedOf(ppa);
           if (psched == nullptr ||
+              device_failed_[static_cast<size_t>(PaDevice(ppa))] ||
               !psched->CanUpdateInPlace(PaOffset(ppa))) {
             all_parities_updatable = false;
             break;
@@ -555,6 +568,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
               doff, {pattern}, {OobRecord{target, entry.sn, tag}},
               [this, join, release, ddev, dzone, submitted](const Status& s) {
                 if (!s.ok()) {
+                  if (s.code() == ErrorCode::kUnavailable) {
+                    OnDeviceUnavailable(ddev);
+                  }
                   join->Fail(s);
                 }
                 RecordCompletion(ddev, dzone, submitted);
@@ -579,6 +595,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                            entry.sn, WriteTag::kParity}},
                 [this, join, release, pdev, pzone, submitted](const Status& s) {
                   if (!s.ok()) {
+                    if (s.code() == ErrorCode::kUnavailable) {
+                      OnDeviceUnavailable(pdev);
+                    }
                     join->Fail(s);
                   }
                   RecordCompletion(pdev, pzone, submitted);
@@ -594,6 +613,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     StripeBuilder& builder = builders_[builder_class];
     if (!builder.open) {
       builder.open = true;
+      builder.degraded = false;
       builder.sn = next_sn_++;
       builder.patterns.clear();
       builder.lbns.clear();
@@ -617,6 +637,31 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     const int device = geometry_.DataDrive(builder.sn, slot);
     const GroupKind dest_group =
         builder_class == kGcBuilder ? kGroupGcDest : group;
+    if (!DeviceWritable(device)) {
+      // Degraded write: the dead member's chunk is never written anywhere —
+      // its content survives only XOR-ed into the stripe parity, and the
+      // write may not be acknowledged until that parity is durable. The
+      // phantom PA routes later reads of this chunk to the degraded path.
+      cpu_.Charge("biza", config_.costs.map_update_ns);
+      InvalidateChunk(target);
+      const uint64_t pa = PhantomPa(device);
+      bmt_[target] = BmtEntry{pa, builder.sn};
+      StripeInfo& phantom_stripe = stripes_[builder.sn];
+      phantom_stripe.data_pa[static_cast<size_t>(slot)] = pa;
+      phantom_stripe.live++;
+      builder.patterns.push_back(pattern);
+      builder.lbns.push_back(target);
+      builder.degraded = true;
+      stats_.degraded_writes++;
+      if (static_cast<int>(builder.patterns.size()) == k_) {
+        WriteStripeParity(builder,
+                          builder_class == kGcBuilder ? WriteTag::kGcParity
+                                                      : WriteTag::kParity,
+                          join);
+        builder_touched[builder_class] = false;  // parity already final
+      }
+      continue;
+    }
     ZoneScheduler* sched = PickZone(device, dest_group, 1);
     if (sched == nullptr) {
       if (is_gc_write) {
@@ -696,9 +741,10 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
 
     if (static_cast<int>(builder.patterns.size()) == k_) {
       // Stripe sealed: final parity.
-      WriteStripeParity(builder, builder_class == kGcBuilder
-                                     ? WriteTag::kGcParity
-                                     : WriteTag::kParity);
+      WriteStripeParity(builder,
+                        builder_class == kGcBuilder ? WriteTag::kGcParity
+                                                    : WriteTag::kParity,
+                        join);
       builder_touched[builder_class] = false;  // parity already final
     }
   }
@@ -709,7 +755,8 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     StripeBuilder& builder = builders_[b];
     if (builder_touched[b] && builder.open && !builder.patterns.empty()) {
       WriteStripeParity(builder,
-                        b == kGcBuilder ? WriteTag::kGcParity : WriteTag::kParity);
+                        b == kGcBuilder ? WriteTag::kGcParity : WriteTag::kParity,
+                        join);
     }
   }
 
@@ -729,17 +776,33 @@ std::vector<uint64_t> BizaArray::ComputeParities(
   return rs_->EncodePatterns(padded);
 }
 
-void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag) {
+void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag,
+                                  const std::shared_ptr<WriteJoin>& join) {
   cpu_.Charge("biza", config_.costs.parity_xor_ns_per_kib *
                           (kBlockSize / kKiB) * static_cast<SimTime>(m_));
   const std::vector<uint64_t> parities = ComputeParities(builder.patterns);
   const bool final = static_cast<int>(builder.patterns.size()) == k_;
+  // A degraded stripe's phantom chunks live ONLY in the parity, so the
+  // user's write acknowledgement must additionally wait for parity
+  // durability; healthy-stripe acks keep their original timing.
+  const bool join_parity = join != nullptr && builder.degraded;
 
   for (int row = 0; row < m_; ++row) {
     stats_.parity_writes++;
     const uint64_t parity = parities[static_cast<size_t>(row)];
     uint64_t& ppa = builder.parity_pa[static_cast<size_t>(row)];
     const int pdevice = builder.parity_devices[static_cast<size_t>(row)];
+    if (!DeviceWritable(pdevice)) {
+      // Parity member is dead: leave the row unwritten. Degraded reads fall
+      // back to the surviving rows; rebuild re-homes the whole stripe.
+      if (ppa != kInvalidPa) {
+        InvalidatePa(ppa);
+      }
+      ppa = kInvalidPa;
+      SmtSet(builder.sn, row, kInvalidPa);
+      stripes_[builder.sn].parity_pa[static_cast<size_t>(row)] = kInvalidPa;
+      continue;
+    }
     ZoneScheduler* psched = SchedOf(ppa);
     const uint64_t poff = ppa == kInvalidPa ? 0 : PaOffset(ppa);
     const OobRecord oob{kParityLbnBase | (parity_version_++ & 0xFFFFFFFFULL),
@@ -751,14 +814,26 @@ void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag) {
       stats_.parity_inplace_updates++;
       const uint32_t zone = psched->zone();
       const SimTime submitted = sim_->Now();
-      psched->SubmitWrite(poff, {parity}, {oob},
-                          [this, pdevice, zone, submitted](const Status& s) {
-                            if (!s.ok()) {
-                              BIZA_LOG_ERROR("parity update failed: %s",
-                                             s.ToString().c_str());
-                            }
-                            RecordCompletion(pdevice, zone, submitted);
-                          });
+      if (join_parity) {
+        join->pending++;
+      }
+      psched->SubmitWrite(
+          poff, {parity}, {oob},
+          [this, pdevice, zone, submitted, join, join_parity](const Status& s) {
+            if (!s.ok()) {
+              if (s.code() == ErrorCode::kUnavailable) {
+                OnDeviceUnavailable(pdevice);
+              }
+              BIZA_LOG_ERROR("parity update failed: %s", s.ToString().c_str());
+            }
+            RecordCompletion(pdevice, zone, submitted);
+            if (join_parity) {
+              if (!s.ok()) {
+                join->Fail(s);
+              }
+              join->Release();
+            }
+          });
     } else {
       if (ppa != kInvalidPa) {
         InvalidatePa(ppa);
@@ -779,20 +854,33 @@ void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag) {
       ZoneOf(pdevice, sched->zone()).valid++;
       const uint32_t zone = sched->zone();
       const SimTime submitted = sim_->Now();
-      sched->SubmitWrite(off, {parity}, {oob},
-                         [this, pdevice, zone, submitted](const Status& s) {
-                           if (!s.ok()) {
-                             BIZA_LOG_ERROR("parity write failed: %s",
-                                            s.ToString().c_str());
-                           }
-                           RecordCompletion(pdevice, zone, submitted);
-                         });
+      if (join_parity) {
+        join->pending++;
+      }
+      sched->SubmitWrite(
+          off, {parity}, {oob},
+          [this, pdevice, zone, submitted, join, join_parity](const Status& s) {
+            if (!s.ok()) {
+              if (s.code() == ErrorCode::kUnavailable) {
+                OnDeviceUnavailable(pdevice);
+              }
+              BIZA_LOG_ERROR("parity write failed: %s", s.ToString().c_str());
+            }
+            RecordCompletion(pdevice, zone, submitted);
+            if (join_parity) {
+              if (!s.ok()) {
+                join->Fail(s);
+              }
+              join->Release();
+            }
+          });
     }
     SmtSet(builder.sn, row, ppa);
     stripes_[builder.sn].parity_pa[static_cast<size_t>(row)] = ppa;
   }
   if (final) {
     builder.open = false;
+    builder.degraded = false;
   }
 }
 
@@ -811,6 +899,7 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   struct ReadState {
     std::vector<uint64_t> out;
     int pending = 1;
+    Status error;
     ReadCallback cb;
   };
   auto state = std::make_shared<ReadState>();
@@ -818,7 +907,7 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   state->cb = std::move(cb);
   auto release = [state]() {
     if (--state->pending == 0) {
-      state->cb(OkStatus(), std::move(state->out));
+      state->cb(state->error, std::move(state->out));
     }
   };
 
@@ -832,8 +921,10 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       continue;
     }
     const int device = PaDevice(entry.pa);
-    if (device_failed_[static_cast<size_t>(device)]) {
-      // Degraded read: XOR the surviving stripe members + parity.
+    if (IsPhantomPa(entry.pa) || device_failed_[static_cast<size_t>(device)]) {
+      // Degraded read: XOR the surviving stripe members + parity. Phantom
+      // chunks (degraded writes) are ALWAYS read this way — they were never
+      // written anywhere and exist only XOR-ed into the parity.
       stats_.degraded_reads++;
       cpu_.Charge("biza", config_.costs.parity_xor_ns_per_kib *
                               (kBlockSize / kKiB) * static_cast<SimTime>(k_));
@@ -841,6 +932,17 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       const uint64_t out_at = i;
       state->pending++;
       if (m_ == 1) {
+        if (stripe.parity_pa[0] == kInvalidPa ||
+            device_failed_[static_cast<size_t>(
+                PaDevice(stripe.parity_pa[0]))]) {
+          // No surviving parity: the chunk is unrecoverable.
+          if (state->error.ok()) {
+            state->error = DataLossError("biza: degraded read without parity");
+          }
+          release();
+          i++;
+          continue;
+        }
         // XOR reconstruction: accumulate every surviving member.
         struct Recon {
           uint64_t acc = 0;
@@ -854,26 +956,28 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
         };
         std::vector<uint64_t> members;
         for (uint64_t pa : stripe.data_pa) {
-          if (pa != kInvalidPa && pa != entry.pa) {
+          if (pa != kInvalidPa && !IsPhantomPa(pa) && pa != entry.pa &&
+              !device_failed_[static_cast<size_t>(PaDevice(pa))]) {
             members.push_back(pa);
           }
         }
-        if (stripe.parity_pa[0] != kInvalidPa) {
-          members.push_back(stripe.parity_pa[0]);
-        }
+        members.push_back(stripe.parity_pa[0]);
         for (uint64_t pa : members) {
           recon->pending++;
-          devices_[static_cast<size_t>(PaDevice(pa))]->SubmitRead(
-              PaZone(pa), PaOffset(pa), 1,
-              [recon, recon_release](const Status& status,
-                                     ZnsDevice::ReadResult result) {
-                if (status.ok() && !result.patterns.empty()) {
-                  recon->acc ^= result.patterns[0];
-                }
-                if (--recon->pending == 0 && recon->dispatched) {
-                  recon_release();
-                }
-              });
+          DeviceRead(PaDevice(pa), pa, 1, 0,
+                     [state, recon, recon_release](
+                         const Status& status, std::vector<uint64_t> pats) {
+                       if (status.ok() && !pats.empty()) {
+                         recon->acc ^= pats[0];
+                       } else if (state->error.ok()) {
+                         state->error = status.ok()
+                                            ? DataLossError("short recon read")
+                                            : status;
+                       }
+                       if (--recon->pending == 0 && recon->dispatched) {
+                         recon_release();
+                       }
+                     });
         }
         recon->dispatched = true;
         if (recon->pending == 0) {
@@ -908,6 +1012,9 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
         } else {
           BIZA_LOG_ERROR("RS reconstruction failed: %s",
                          status.ToString().c_str());
+          if (state->error.ok()) {
+            state->error = status;
+          }
         }
         release();
       };
@@ -917,20 +1024,22 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
         if (slot == recon->target_slot || pa == kInvalidPa) {
           continue;  // target erasure, or zero-padded unfilled slot
         }
-        if (device_failed_[static_cast<size_t>(PaDevice(pa))]) {
+        if (IsPhantomPa(pa) ||
+            device_failed_[static_cast<size_t>(PaDevice(pa))]) {
           recon->present[static_cast<size_t>(slot)] = false;
           continue;
         }
         recon->pending++;
-        devices_[static_cast<size_t>(PaDevice(pa))]->SubmitRead(
-            PaZone(pa), PaOffset(pa), 1,
-            [recon, rs_release, slot](const Status& status,
-                                      ZnsDevice::ReadResult result) {
-              if (status.ok() && !result.patterns.empty()) {
-                recon->shards[static_cast<size_t>(slot)] = result.patterns[0];
-              }
-              rs_release();
-            });
+        DeviceRead(PaDevice(pa), pa, 1, 0,
+                   [state, recon, rs_release, slot](
+                       const Status& status, std::vector<uint64_t> pats) {
+                     if (status.ok() && !pats.empty()) {
+                       recon->shards[static_cast<size_t>(slot)] = pats[0];
+                     } else if (state->error.ok() && !status.ok()) {
+                       state->error = status;
+                     }
+                     rs_release();
+                   });
       }
       for (int row = 0; row < m_; ++row) {
         const uint64_t pa = stripe.parity_pa[static_cast<size_t>(row)];
@@ -941,15 +1050,16 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
           continue;
         }
         recon->pending++;
-        devices_[static_cast<size_t>(PaDevice(pa))]->SubmitRead(
-            PaZone(pa), PaOffset(pa), 1,
-            [recon, rs_release, shard](const Status& status,
-                                       ZnsDevice::ReadResult result) {
-              if (status.ok() && !result.patterns.empty()) {
-                recon->shards[shard] = result.patterns[0];
-              }
-              rs_release();
-            });
+        DeviceRead(PaDevice(pa), pa, 1, 0,
+                   [state, recon, rs_release, shard](
+                       const Status& status, std::vector<uint64_t> pats) {
+                     if (status.ok() && !pats.empty()) {
+                       recon->shards[shard] = pats[0];
+                     } else if (state->error.ok() && !status.ok()) {
+                       state->error = status;
+                     }
+                     rs_release();
+                   });
       }
       rs_release();
       i++;
@@ -964,14 +1074,38 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
     }
     state->pending++;
     const uint64_t out_at = i;
-    devices_[static_cast<size_t>(device)]->SubmitRead(
-        PaZone(entry.pa), PaOffset(entry.pa), run,
-        [state, out_at, release](const Status& status,
-                                 ZnsDevice::ReadResult result) {
+    const uint64_t run_lbn = lbn + i;
+    DeviceRead(
+        device, entry.pa, run, 0,
+        [this, state, out_at, run, run_lbn, device, release](
+            const Status& status, std::vector<uint64_t> pats) {
           if (status.ok()) {
-            for (size_t j = 0; j < result.patterns.size(); ++j) {
-              state->out[out_at + j] = result.patterns[j];
+            for (size_t j = 0; j < pats.size(); ++j) {
+              state->out[out_at + j] = pats[j];
             }
+            release();
+            return;
+          }
+          if (status.code() == ErrorCode::kUnavailable) {
+            // The device died under this read: flag it and re-dispatch the
+            // run through the degraded-reconstruction path above.
+            OnDeviceUnavailable(device);
+            stats_.user_read_blocks -= run;  // re-dispatch re-counts them
+            SubmitRead(run_lbn, run,
+                       [state, out_at, release](const Status& s,
+                                                std::vector<uint64_t> pats) {
+                         if (!s.ok() && state->error.ok()) {
+                           state->error = s;
+                         }
+                         for (size_t j = 0; j < pats.size(); ++j) {
+                           state->out[out_at + j] = pats[j];
+                         }
+                         release();
+                       });
+            return;
+          }
+          if (state->error.ok()) {
+            state->error = status;
           }
           release();
         });
@@ -988,6 +1122,220 @@ void BizaArray::FlushBuffers(std::function<void()> done) {
 
 void BizaArray::SetDeviceFailed(int device, bool failed) {
   device_failed_[static_cast<size_t>(device)] = failed;
+}
+
+void BizaArray::OnDeviceUnavailable(int device) {
+  if (device_failed_[static_cast<size_t>(device)]) {
+    return;
+  }
+  BIZA_LOG_WARN("biza: device %d unavailable, entering degraded mode", device);
+  device_failed_[static_cast<size_t>(device)] = true;
+}
+
+void BizaArray::DeviceRead(
+    int device, uint64_t pa, uint64_t nblocks, int attempt,
+    std::function<void(const Status&, std::vector<uint64_t>)> cb) {
+  devices_[static_cast<size_t>(device)]->SubmitRead(
+      PaZone(pa), PaOffset(pa), nblocks,
+      [this, device, pa, nblocks, attempt, cb = std::move(cb)](
+          const Status& status, ZnsDevice::ReadResult result) mutable {
+        if (IsRetriable(status) && attempt < config_.max_io_retries) {
+          stats_.read_retries++;
+          sim_->Schedule(
+              RetryBackoffNs(attempt, config_.retry_backoff_base_ns),
+              [this, device, pa, nblocks, attempt, cb = std::move(cb)]() mutable {
+                DeviceRead(device, pa, nblocks, attempt + 1, std::move(cb));
+              });
+          return;
+        }
+        cb(status, std::move(result.patterns));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Online rebuild (ReplaceDevice)
+// ---------------------------------------------------------------------------
+
+Status BizaArray::ReplaceDevice(int device, ZnsDevice* replacement) {
+  if (device < 0 || device >= n_) {
+    return InvalidArgumentError("replace: bad device index");
+  }
+  if (!device_failed_[static_cast<size_t>(device)]) {
+    return FailedPreconditionError("replace: device is not failed");
+  }
+  if (rebuild_.active) {
+    return FailedPreconditionError("replace: a rebuild is already running");
+  }
+  if (replacement == nullptr ||
+      replacement->config().zone_capacity_blocks != zone_cap_ ||
+      replacement->config().num_zones != num_zones_) {
+    return InvalidArgumentError("replace: incompatible replacement device");
+  }
+  devices_[static_cast<size_t>(device)] = replacement;
+
+  // Purge every reference to the dead device's blocks. Data chunks become
+  // phantoms (content recoverable from survivors + parity), parity rows
+  // become unwritten. Every touched stripe is then queued for migration:
+  // the rebuilder re-homes its live chunks through the normal write path so
+  // the whole stale stripe — phantoms included — dies, which is why the
+  // replacement never needs direct parity reconstruction writes.
+  rebuild_touched_.assign(stripes_.size(), 0);
+  for (uint32_t sn = 0; sn < next_sn_; ++sn) {
+    StripeInfo& stripe = stripes_[sn];
+    for (int slot = 0; slot < k_; ++slot) {
+      uint64_t& pa = stripe.data_pa[static_cast<size_t>(slot)];
+      if (pa == kInvalidPa || PaDevice(pa) != device) {
+        continue;
+      }
+      if (!IsPhantomPa(pa)) {
+        pa = PhantomPa(device);
+      }
+      rebuild_touched_[sn] = 1;
+    }
+    for (int row = 0; row < m_; ++row) {
+      uint64_t& ppa = stripe.parity_pa[static_cast<size_t>(row)];
+      if (ppa != kInvalidPa && PaDevice(ppa) == device) {
+        ppa = kInvalidPa;
+        SmtSet(sn, row, kInvalidPa);
+        rebuild_touched_[sn] = 1;
+      }
+    }
+  }
+  for (auto& builder : builders_) {
+    if (!builder.open) {
+      continue;
+    }
+    for (int row = 0; row < m_; ++row) {
+      uint64_t& ppa = builder.parity_pa[static_cast<size_t>(row)];
+      if (ppa != kInvalidPa && PaDevice(ppa) == device) {
+        ppa = kInvalidPa;
+      }
+    }
+  }
+  for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
+    BmtEntry& entry = bmt_[lbn];
+    if (entry.pa != kInvalidPa && !IsPhantomPa(entry.pa) &&
+        PaDevice(entry.pa) == device) {
+      entry.pa = PhantomPa(device);
+    }
+  }
+  rebuild_queue_.clear();
+  rebuild_cursor_ = 0;
+  for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
+    const BmtEntry& entry = bmt_[lbn];
+    if (entry.pa != kInvalidPa && rebuild_touched_[entry.sn] != 0) {
+      rebuild_queue_.push_back(lbn);
+    }
+  }
+
+  // Fresh bookkeeping for the (empty) replacement.
+  for (DevZone& z : zones_[static_cast<size_t>(device)]) {
+    z.use = ZoneUse::kFree;
+    z.valid = 0;
+    z.sched.reset();
+    z.seal_pending = false;
+  }
+  detectors_[static_cast<size_t>(device)] =
+      std::make_unique<ChannelDetector>(config_.detector, num_zones_);
+  auto& cooldowns = channel_busy_until_[static_cast<size_t>(device)];
+  cooldowns.assign(cooldowns.size(), 0);
+  for (auto& group : groups_[static_cast<size_t>(device)]) {
+    group = ZoneGroup{};
+  }
+
+  rebuild_ = RebuildStats{};
+  rebuild_.active = true;
+  rebuild_.device = device;
+  rebuild_.started_ns = sim_->Now();
+  InitDeviceGroups(device);
+  BIZA_LOG_INFO("biza: rebuilding device %d, %llu chunks queued", device,
+                static_cast<unsigned long long>(rebuild_queue_.size()));
+  sim_->Schedule(0, [this]() { RebuildStep(); });
+  return OkStatus();
+}
+
+void BizaArray::RebuildStep() {
+  if (!rebuild_.active) {
+    return;
+  }
+  if (rebuild_cursor_ >= rebuild_queue_.size()) {
+    // Pass finished: rescan. Foreground overwrites retire queue entries on
+    // their own, but a migration can land in a builder whose stripe later
+    // fails its parity write, so sweep until nothing references a touched
+    // stripe any more.
+    rebuild_queue_.clear();
+    rebuild_cursor_ = 0;
+    rebuild_.passes++;
+    for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
+      const BmtEntry& entry = bmt_[lbn];
+      if (entry.pa != kInvalidPa && StripeNeedsRebuild(entry.sn)) {
+        rebuild_queue_.push_back(lbn);
+      }
+    }
+    if (rebuild_queue_.empty()) {
+      FinishRebuild();
+      return;
+    }
+  }
+  // Throttle: dispatch one batch, then yield the array for
+  // rebuild_interval_ns. The join schedules the next step only after every
+  // migration of this batch completed, bounding rebuild interference.
+  struct BatchJoin {
+    BizaArray* array;
+    explicit BatchJoin(BizaArray* a) : array(a) {}
+    ~BatchJoin() {
+      BizaArray* a = array;
+      a->sim_->Schedule(a->config_.rebuild_interval_ns,
+                        [a]() { a->RebuildStep(); });
+    }
+  };
+  auto batch = std::make_shared<BatchJoin>(this);
+  uint64_t dispatched = 0;
+  while (rebuild_cursor_ < rebuild_queue_.size() &&
+         dispatched < config_.rebuild_batch_stripes) {
+    const uint64_t lbn = rebuild_queue_[rebuild_cursor_++];
+    const BmtEntry entry = bmt_[lbn];
+    if (entry.pa == kInvalidPa || !StripeNeedsRebuild(entry.sn)) {
+      continue;  // overwritten or already re-homed
+    }
+    dispatched++;
+    SubmitRead(
+        lbn, 1,
+        [this, lbn, entry, batch](const Status& status,
+                                  std::vector<uint64_t> patterns) {
+          uint64_t pattern = 0;
+          if (status.ok() && !patterns.empty()) {
+            pattern = patterns[0];
+          } else {
+            // Unrecoverable chunk (e.g. a second failure under rebuild):
+            // re-home zeros so the rebuild still terminates, and shout.
+            BIZA_LOG_ERROR("rebuild: lbn %llu unreadable (%s) — data loss",
+                           static_cast<unsigned long long>(lbn),
+                           status.ToString().c_str());
+          }
+          const BmtEntry& now = bmt_[lbn];
+          if (now.pa != entry.pa || now.sn != entry.sn) {
+            return;  // overwritten while the read was in flight
+          }
+          rebuild_.chunks_migrated++;
+          SubmitWrite(lbn, {pattern}, [batch](const Status&) {},
+                      WriteTag::kGcData);
+        });
+  }
+}
+
+void BizaArray::FinishRebuild() {
+  rebuild_.active = false;
+  rebuild_.finished_ns = sim_->Now();
+  device_failed_[static_cast<size_t>(rebuild_.device)] = false;
+  rebuild_touched_.clear();
+  rebuild_queue_.clear();
+  rebuild_cursor_ = 0;
+  BIZA_LOG_INFO(
+      "biza: rebuild of device %d complete, %llu chunks in %llu passes",
+      rebuild_.device, static_cast<unsigned long long>(rebuild_.chunks_migrated),
+      static_cast<unsigned long long>(rebuild_.passes));
+  RetryStalled();
 }
 
 // ---------------------------------------------------------------------------
@@ -1016,6 +1364,9 @@ std::pair<int, uint32_t> BizaArray::PickGcVictim() const {
     return FreeZonesOf(a) < FreeZonesOf(b);
   });
   for (int d : order) {
+    if (device_failed_[static_cast<size_t>(d)]) {
+      continue;  // its zones are unreadable; rebuild re-homes them instead
+    }
     uint32_t best_zone = 0;
     double best_score = 1.1;
     for (uint32_t zone = 0; zone < num_zones_; ++zone) {
@@ -1044,6 +1395,9 @@ bool BizaArray::ForceSealGarbageZone() {
   uint32_t best_zone = 0;
   double best_ratio = 0.999;
   for (int d = 0; d < n_; ++d) {
+    if (device_failed_[static_cast<size_t>(d)]) {
+      continue;
+    }
     for (uint32_t zone = 0; zone < num_zones_; ++zone) {
       DevZone& z = ZoneOf(d, zone);
       if (z.use != ZoneUse::kActive || !z.sched || !z.sched->Idle() ||
@@ -1092,6 +1446,9 @@ void BizaArray::MaybeStartGc() {
   }
   bool low = false;
   for (int d = 0; d < n_; ++d) {
+    if (device_failed_[static_cast<size_t>(d)]) {
+      continue;  // a dead member's space pressure is the rebuilder's problem
+    }
     const double free_ratio = static_cast<double>(FreeZonesOf(d)) /
                               static_cast<double>(num_zones_);
     if (free_ratio < config_.gc_trigger_free_ratio) {
@@ -1207,6 +1564,9 @@ void BizaArray::FinishGcVictim() {
   // Continue collecting until every device is above the stop watermark.
   bool low = false;
   for (int d = 0; d < n_; ++d) {
+    if (device_failed_[static_cast<size_t>(d)]) {
+      continue;
+    }
     const double free_ratio = static_cast<double>(FreeZonesOf(d)) /
                               static_cast<double>(num_zones_);
     if (free_ratio < config_.gc_stop_free_ratio) {
@@ -1228,6 +1588,16 @@ void BizaArray::FinishGcVictim() {
 }
 
 void BizaArray::GcStep() {
+  if (!gc_active_) {
+    return;
+  }
+  if (device_failed_[static_cast<size_t>(gc_device_)]) {
+    // The victim's device died mid-collection: abandon the run. Migrating
+    // with failed reads would rewrite zeros over live data; the rebuilder
+    // re-homes the dead device's chunks instead.
+    gc_active_ = false;
+    return;
+  }
   ZnsDevice* dev = devices_[static_cast<size_t>(gc_device_)];
   struct Item {
     uint64_t offset;
@@ -1271,12 +1641,14 @@ void BizaArray::GcStep() {
   struct GcBatch {
     std::vector<Item> items;
     std::vector<uint64_t> patterns;
+    std::vector<char> ok;  // read succeeded; never migrate unread content
     int pending = 0;
     bool dispatched = false;
   };
   auto gc_batch = std::make_shared<GcBatch>();
   gc_batch->items = batch;
   gc_batch->patterns.assign(batch.size(), 0);
+  gc_batch->ok.assign(batch.size(), 0);
 
   auto rewrite = [this, gc_batch]() {
     struct MigrateJoin {
@@ -1289,7 +1661,15 @@ void BizaArray::GcStep() {
     };
     auto mjoin = std::make_shared<MigrateJoin>(this);
 
+    uint64_t rescan = zone_cap_;
     for (size_t idx = 0; idx < gc_batch->items.size(); ++idx) {
+      if (gc_batch->ok[idx] == 0) {
+        // Read failed even after retries: never migrate unread content.
+        // Roll the scan cursor back so the block is re-attempted before the
+        // victim zone can be declared empty and reset.
+        rescan = std::min(rescan, gc_batch->items[idx].offset);
+        continue;
+      }
       const Item& item = gc_batch->items[idx];
       const uint64_t pa =
           MakePa(gc_device_, gc_victim_zone_, item.offset, zone_cap_);
@@ -1353,20 +1733,29 @@ void BizaArray::GcStep() {
                     [mjoin](const Status&) {}, WriteTag::kGcData);
       }
     }
+    if (rescan < zone_cap_) {
+      gc_scan_ = std::min<uint64_t>(gc_scan_, rescan);
+    }
   };
 
   for (size_t idx = 0; idx < gc_batch->items.size(); ++idx) {
     gc_batch->pending++;
-    dev->SubmitRead(gc_victim_zone_, gc_batch->items[idx].offset, 1,
-                    [gc_batch, idx, rewrite](const Status& status,
-                                             ZnsDevice::ReadResult result) {
-                      if (status.ok() && !result.patterns.empty()) {
-                        gc_batch->patterns[idx] = result.patterns[0];
-                      }
-                      if (--gc_batch->pending == 0 && gc_batch->dispatched) {
-                        rewrite();
-                      }
-                    });
+    const uint64_t pa =
+        MakePa(gc_device_, gc_victim_zone_, gc_batch->items[idx].offset,
+               zone_cap_);
+    DeviceRead(gc_device_, pa, 1, 0,
+               [this, gc_batch, idx, rewrite](const Status& status,
+                                              std::vector<uint64_t> pats) {
+                 if (status.ok() && !pats.empty()) {
+                   gc_batch->patterns[idx] = pats[0];
+                   gc_batch->ok[idx] = 1;
+                 } else if (status.code() == ErrorCode::kUnavailable) {
+                   OnDeviceUnavailable(gc_device_);
+                 }
+                 if (--gc_batch->pending == 0 && gc_batch->dispatched) {
+                   rewrite();
+                 }
+               });
   }
   gc_batch->dispatched = true;
   if (gc_batch->pending == 0) {
@@ -1379,9 +1768,12 @@ void BizaArray::GcStep() {
 // ---------------------------------------------------------------------------
 
 Status BizaArray::Recover() {
-  // Quiesce requirement: no in-flight I/O, no GC.
+  // Quiesce requirement: no in-flight I/O, no GC, no rebuild.
   if (gc_active_) {
     return FailedPreconditionError("recover during GC");
+  }
+  if (rebuild_.active) {
+    return FailedPreconditionError("recover during rebuild");
   }
 
   // Step 0: finish every zone the crashed host left open or closed. ZRWA is

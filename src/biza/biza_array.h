@@ -61,8 +61,23 @@ struct BizaStats {
   uint64_t gc_migrated_parity = 0;
   uint64_t gc_zone_resets = 0;
   uint64_t degraded_reads = 0;
+  uint64_t degraded_writes = 0;  // data chunks skipped onto parity only
+  uint64_t write_retries = 0;    // transient write errors retried with backoff
+  uint64_t read_retries = 0;     // transient read errors retried with backoff
   uint64_t write_stalls = 0;     // requests parked awaiting GC space
   uint64_t busy_skips = 0;       // zone picks steered off a BUSY channel
+};
+
+// Progress of an online rebuild (ReplaceDevice). `active` drops to false
+// when every stripe referencing the dead device has been re-homed and the
+// replacement serves I/O as a full member again.
+struct RebuildStats {
+  bool active = false;
+  int device = -1;
+  uint64_t chunks_migrated = 0;  // data chunks re-homed off affected stripes
+  uint64_t passes = 0;           // full BMT sweeps until no stale stripe left
+  SimTime started_ns = 0;
+  SimTime finished_ns = 0;
 };
 
 class BizaArray : public BlockTarget {
@@ -79,8 +94,21 @@ class BizaArray : public BlockTarget {
   void FlushBuffers(std::function<void()> done) override;
 
   // Fault injection: degraded reads reconstruct this device's chunks from
-  // the surviving stripe members + parity.
+  // the surviving stripe members + parity. The write path also reacts: new
+  // stripes skip the failed member (the chunk's content is carried by the
+  // stripe parity alone until the device is replaced and rebuilt). Device
+  // deaths are additionally auto-detected from UNAVAILABLE completions.
   void SetDeviceFailed(int device, bool failed);
+
+  // Online rebuild: swaps the failed `device` slot for an empty
+  // `replacement` (same geometry) and starts a throttled background sweep
+  // that re-homes every chunk of every stripe referencing the dead device
+  // through the normal write path, while foreground I/O keeps flowing
+  // (reads of affected chunks reconstruct from parity). The device rejoins
+  // the array — device_failed cleared — once the sweep finds no affected
+  // stripe left. Progress is visible through rebuild().
+  Status ReplaceDevice(int device, ZnsDevice* replacement);
+  const RebuildStats& rebuild() const { return rebuild_; }
 
   // Crash recovery: rebuilds BMT/SMT/stripe index by scanning every
   // device's OOB records (§4.1). Requires a quiesced array (no in-flight
@@ -109,6 +137,16 @@ class BizaArray : public BlockTarget {
            (static_cast<uint64_t>(zone) * zone_cap + offset);
   }
   int PaDevice(uint64_t pa) const { return static_cast<int>(pa >> 32); }
+  // Phantom PA: a degraded write's chunk was never written anywhere — its
+  // content exists only XOR-ed into the stripe parity. The device field
+  // still routes reads into the degraded path; the offset field is the
+  // all-ones sentinel no real (zone, offset) pair can produce.
+  static uint64_t PhantomPa(int device) {
+    return (static_cast<uint64_t>(device) << 32) | 0xFFFFFFFFULL;
+  }
+  static bool IsPhantomPa(uint64_t pa) {
+    return pa != kInvalidPa && (pa & 0xFFFFFFFFULL) == 0xFFFFFFFFULL;
+  }
   uint32_t PaZone(uint64_t pa) const {
     return static_cast<uint32_t>((pa & 0xFFFFFFFFULL) / zone_cap_);
   }
@@ -160,7 +198,12 @@ class BizaArray : public BlockTarget {
     std::vector<uint64_t> lbns;
     std::vector<int> parity_devices;     // m rotating parity drives
     std::vector<uint64_t> parity_pa;     // m parity locations
+    bool degraded = false;               // some slot skipped a dead member
   };
+
+  // Shared completion join for all device writes of one block request
+  // (defined in the .cc).
+  struct WriteJoin;
 
   ZoneScheduler* SchedOf(uint64_t pa);
   DevZone& ZoneOf(int device, uint32_t zone) {
@@ -183,7 +226,33 @@ class BizaArray : public BlockTarget {
   void InvalidateChunk(uint64_t lbn);
   void InvalidatePa(uint64_t pa);
   void InitGroups();
-  void WriteStripeParity(StripeBuilder& builder, WriteTag tag);
+  void InitDeviceGroups(int device);
+  // `join`, when given, makes the ack wait for the parity writes of a
+  // DEGRADED stripe — a skipped chunk's content lives in parity alone, so
+  // acking before parity is durable would lose acknowledged data on a crash.
+  void WriteStripeParity(StripeBuilder& builder, WriteTag tag,
+                         const std::shared_ptr<WriteJoin>& join = nullptr);
+
+  // Fault plane.
+  // A device is writable when healthy, or while it is the (fresh, empty)
+  // replacement of an ongoing rebuild; a dead, unreplaced member is not.
+  bool DeviceWritable(int device) const {
+    return !device_failed_[static_cast<size_t>(device)] ||
+           (rebuild_.active && rebuild_.device == device);
+  }
+  // True while a rebuild must still re-home this stripe (it references the
+  // replaced device). Such stripes are pinned out-of-place: an in-place
+  // update would keep the stale stripe alive forever.
+  bool StripeNeedsRebuild(uint32_t sn) const {
+    return rebuild_.active && static_cast<size_t>(sn) < rebuild_touched_.size() &&
+           rebuild_touched_[sn] != 0;
+  }
+  void OnDeviceUnavailable(int device);
+  // Device read with bounded retry-with-backoff for transient errors.
+  void DeviceRead(int device, uint64_t pa, uint64_t nblocks, int attempt,
+                  std::function<void(const Status&, std::vector<uint64_t>)> cb);
+  void RebuildStep();
+  void FinishRebuild();
 
   // GC machinery (§4.3).
   void MaybeStartGc();
@@ -265,6 +334,12 @@ class BizaArray : public BlockTarget {
   void ArmStallTimer();
 
   std::vector<bool> device_failed_;
+
+  // Online-rebuild state (see ReplaceDevice).
+  RebuildStats rebuild_;
+  std::vector<char> rebuild_touched_;   // sn -> stripe referenced dead device
+  std::vector<uint64_t> rebuild_queue_; // lbns awaiting re-homing
+  size_t rebuild_cursor_ = 0;
 
   BizaStats stats_;
   CpuAccount cpu_;

@@ -61,6 +61,20 @@ struct BizaConfig {
   // engine instance to devices that already hold data (host crash).
   bool recover_mode = false;
 
+  // Bounded retry-with-backoff for transient device errors (fault plane):
+  // an I/O is retried up to max_io_retries times, the i-th retry after
+  // RetryBackoffNs(i, retry_backoff_base_ns). Errors surface to the caller
+  // only once retries are exhausted.
+  int max_io_retries = 3;
+  SimTime retry_backoff_base_ns = 10 * kMicrosecond;
+
+  // Online-rebuild throttle: the rebuilder reconstructs up to
+  // rebuild_batch_stripes stripes, then yields the array for
+  // rebuild_interval_ns before the next batch, bounding its interference
+  // with foreground I/O.
+  uint64_t rebuild_batch_stripes = 64;
+  SimTime rebuild_interval_ns = 200 * kMicrosecond;
+
   CpuCostModel costs;
 };
 

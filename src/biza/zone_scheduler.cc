@@ -6,8 +6,13 @@
 
 namespace biza {
 
-ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone)
-    : device_(device), zone_(zone) {
+ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone, int max_retries,
+                             SimTime retry_backoff_ns, uint64_t* retry_counter)
+    : device_(device),
+      zone_(zone),
+      max_retries_(max_retries),
+      retry_backoff_ns_(retry_backoff_ns),
+      retry_counter_(retry_counter) {
   capacity_ = device_->config().zone_capacity_blocks;
   zrwa_blocks_ = device_->config().zrwa_blocks;
   assert(zrwa_blocks_ > 0 && "ZoneScheduler requires a ZRWA zone");
@@ -15,6 +20,7 @@ ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone)
   inflight_cnt_.assign(capacity_, 0);
   durable_.assign(capacity_, false);
   patterns_.assign(capacity_, 0);
+  oobs_.assign(capacity_, OobRecord{});
 }
 
 uint64_t ZoneScheduler::Allocate(uint64_t n) {
@@ -76,6 +82,9 @@ void ZoneScheduler::SubmitWrite(uint64_t offset,
   }
   for (uint64_t i = 0; i < patterns.size(); ++i) {
     patterns_[offset + i] = patterns[i];
+    if (!oobs.empty()) {
+      oobs_[offset + i] = oobs[i];
+    }
   }
   Job job{offset, std::move(patterns), std::move(oobs), std::move(cb)};
   for (uint64_t i = 0; i < job.patterns.size(); ++i) {
@@ -122,17 +131,55 @@ void ZoneScheduler::Pump() {
 }
 
 void ZoneScheduler::Dispatch(Job job) {
-  inflight_++;
-  for (uint64_t i = 0; i < job.patterns.size(); ++i) {
-    inflight_cnt_[job.offset + i]++;
+  // Retries re-enter Dispatch with bookkeeping still held from the first
+  // attempt, so only count the job once.
+  if (job.attempts == 0) {
+    inflight_++;
+    for (uint64_t i = 0; i < job.patterns.size(); ++i) {
+      inflight_cnt_[job.offset + i]++;
+    }
   }
   const uint64_t offset = job.offset;
   const uint64_t n = job.patterns.size();
+  const bool has_oobs = !job.oobs.empty();
+  const int attempts = job.attempts;
   auto patterns = std::move(job.patterns);
   auto oobs = std::move(job.oobs);
   device_->SubmitWrite(
       zone_, offset, std::move(patterns), std::move(oobs),
-      [this, offset, n, cb = std::move(job.cb)](const Status& status) {
+      [this, offset, n, has_oobs, attempts,
+       cb = std::move(job.cb)](const Status& status) mutable {
+        if (IsRetriable(status) && attempts < max_retries_) {
+          // Transient device error: rebuild the job from the retained
+          // per-block patterns/OOBs and re-dispatch after backoff. The
+          // pending_/inflight_ bookkeeping is deliberately NOT released:
+          // the window stays frozen over the failed range (reorder safety
+          // holds across the retry) and Idle() stays false so the zone
+          // cannot be sealed underneath it. A newer in-place update to the
+          // same blocks may have refreshed patterns_/oobs_ meanwhile; the
+          // retry then writes the newer content, which the still-queued
+          // newer job simply rewrites — content converges to newest.
+          if (retry_counter_ != nullptr) {
+            (*retry_counter_)++;
+          }
+          Job retry;
+          retry.offset = offset;
+          retry.attempts = attempts + 1;
+          retry.cb = std::move(cb);
+          const auto first = static_cast<std::ptrdiff_t>(offset);
+          const auto last = static_cast<std::ptrdiff_t>(offset + n);
+          retry.patterns.assign(patterns_.begin() + first,
+                                patterns_.begin() + last);
+          if (has_oobs) {
+            retry.oobs.assign(oobs_.begin() + first, oobs_.begin() + last);
+          }
+          device_->sim()->Schedule(
+              RetryBackoffNs(attempts, retry_backoff_ns_),
+              [this, retry = std::move(retry)]() mutable {
+                Dispatch(std::move(retry));
+              });
+          return;
+        }
         inflight_--;
         for (uint64_t i = 0; i < n; ++i) {
           pending_[offset + i]--;

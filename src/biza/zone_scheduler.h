@@ -43,7 +43,11 @@ class ZoneScheduler {
  public:
   using WriteCallback = std::function<void(const Status&)>;
 
-  ZoneScheduler(ZnsDevice* device, uint32_t zone);
+  // `max_retries` > 0 enables bounded retry-with-backoff for transient
+  // (IsRetriable) device write errors; `retry_counter`, when non-null, is
+  // incremented on every retry (the engine points it at its stats).
+  ZoneScheduler(ZnsDevice* device, uint32_t zone, int max_retries = 0,
+                SimTime retry_backoff_ns = 0, uint64_t* retry_counter = nullptr);
 
   uint32_t zone() const { return zone_; }
   uint64_t capacity() const { return capacity_; }
@@ -93,6 +97,7 @@ class ZoneScheduler {
     std::vector<uint64_t> patterns;
     std::vector<OobRecord> oobs;
     WriteCallback cb;
+    int attempts = 0;
   };
 
   bool FitsWindow(const Job& job) const;
@@ -105,6 +110,9 @@ class ZoneScheduler {
   uint32_t zone_;
   uint64_t capacity_;
   uint32_t zrwa_blocks_;
+  int max_retries_ = 0;
+  SimTime retry_backoff_ns_ = 0;
+  uint64_t* retry_counter_ = nullptr;
   uint64_t alloc_ptr_ = 0;
   uint64_t win_start_ = 0;
   uint64_t inflight_ = 0;
@@ -117,6 +125,9 @@ class ZoneScheduler {
   std::vector<uint16_t> inflight_cnt_;
   std::vector<bool> durable_;
   std::vector<uint64_t> patterns_;
+  // Last OOB record submitted per block — lets a retry rebuild its payload
+  // from scheduler state instead of copying every job defensively.
+  std::vector<OobRecord> oobs_;
   std::deque<Job> queue_;
 };
 

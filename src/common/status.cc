@@ -26,6 +26,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "UNIMPLEMENTED";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kDeviceError:
+      return "DEVICE_ERROR";
   }
   return "UNKNOWN";
 }
@@ -71,6 +75,12 @@ Status UnimplementedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(ErrorCode::kInternal, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status DeviceErrorStatus(std::string message) {
+  return Status(ErrorCode::kDeviceError, std::move(message));
 }
 
 }  // namespace biza

@@ -7,6 +7,7 @@
 #define BIZA_SRC_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,6 +28,8 @@ enum class ErrorCode : int {
   kDataLoss = 8,          // unrecoverable stripe (too many failures)
   kUnimplemented = 9,
   kInternal = 10,
+  kUnavailable = 11,      // device dead / offlined (permanent, not retriable)
+  kDeviceError = 12,      // transient media/bus error (retriable)
 };
 
 // Returns a short stable name for an error code ("WRITE_FAILURE", ...).
@@ -65,6 +68,23 @@ Status FailedPreconditionError(std::string message);
 Status DataLossError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DeviceErrorStatus(std::string message);
+
+// True for errors worth retrying with backoff (transient media/bus faults).
+// Permanent conditions — device death (kUnavailable), address errors,
+// protocol misuse — are not retriable; retrying them cannot succeed.
+inline bool IsRetriable(const Status& status) {
+  return status.code() == ErrorCode::kDeviceError;
+}
+
+// Exponential backoff delay for the attempt-th retry (attempt starts at 0):
+// base << attempt, capped at 1024 * base so late retries stay bounded.
+// Deterministic — simulated time needs no jitter to avoid thundering herds.
+inline uint64_t RetryBackoffNs(int attempt, uint64_t base_ns) {
+  const int shift = attempt < 10 ? attempt : 10;
+  return base_ns << shift;
+}
 
 // Result<T>: either a value or a non-OK status.
 template <typename T>

@@ -213,6 +213,11 @@ bool ConvSsd::CollectOne() {
 
 void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                       WriteCallback cb, WriteTag tag) {
+  Status fault = FaultCheck(IoKind::kWrite);
+  if (!fault.ok()) {
+    cb(fault);
+    return;
+  }
   const uint64_t n = patterns.size();
   if (n == 0 || lbn + n > config_.capacity_blocks) {
     cb(OutOfRangeError("write beyond capacity"));
@@ -248,7 +253,7 @@ void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
   stats_.host_written_blocks += n;
   stats_.flash_programmed_blocks += n;
   stats_.flash_by_tag[static_cast<int>(tag)] += n;
-  sim_->ScheduleAt(done, [cb = std::move(cb)]() { cb(OkStatus()); });
+  sim_->ScheduleAt(Stretch(done), [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ConvSsd::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
@@ -258,6 +263,11 @@ void ConvSsd::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
 }
 
 void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
+  Status fault = FaultCheck(IoKind::kRead);
+  if (!fault.ok()) {
+    cb(fault, {});
+    return;
+  }
   if (nblocks == 0 || lbn + nblocks > config_.capacity_blocks) {
     cb(OutOfRangeError("read beyond capacity"), {});
     return;
@@ -276,7 +286,7 @@ void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   }
   stats_.host_read_blocks += nblocks;
   const SimTime done = backend_->Read(channel, nblocks * kBlockSize);
-  sim_->ScheduleAt(done,
+  sim_->ScheduleAt(Stretch(done),
                    [cb = std::move(cb), patterns = std::move(patterns)]() mutable {
                      cb(OkStatus(), std::move(patterns));
                    });

@@ -24,6 +24,7 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
+#include "src/fault/fault_injector.h"
 #include "src/nand/nand_backend.h"
 #include "src/sim/simulator.h"
 
@@ -88,6 +89,13 @@ class ConvSsd {
   const ConvSsdStats& stats() const { return stats_; }
   NandBackend& backend() { return *backend_; }
 
+  // Interposes `injector` on every command this device serves; `device_id`
+  // names this device in the injector's fault plan. Pass nullptr to detach.
+  void AttachFaultInjector(FaultInjector* injector, int device_id) {
+    fault_ = injector;
+    fault_device_id_ = device_id;
+  }
+
  private:
   static constexpr uint64_t kUnmapped = ~0ULL;
 
@@ -113,10 +121,22 @@ class ConvSsd {
 
   SimTime DispatchDelay();
 
+  Status FaultCheck(IoKind kind) {
+    return fault_ != nullptr ? fault_->OnIo(fault_device_id_, kind)
+                             : OkStatus();
+  }
+  SimTime Stretch(SimTime done) const {
+    return fault_ != nullptr
+               ? fault_->StretchCompletion(fault_device_id_, -1, done)
+               : done;
+  }
+
   Simulator* sim_;
   ConvSsdConfig config_;
   std::unique_ptr<NandBackend> backend_;
   Rng rng_;
+  FaultInjector* fault_ = nullptr;
+  int fault_device_id_ = -1;
 
   uint64_t total_pages_ = 0;
   uint64_t num_flash_blocks_ = 0;

@@ -231,6 +231,11 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
     uint64_t stripe;
     std::vector<uint64_t> patterns;  // full k slots after reads
     std::vector<bool> dirty;
+    // Non-dirty slot on a failed child whose OLD value must be
+    // reconstructed (old parity XOR every other data slot's old value), or
+    // the recomputed parity silently forgets that block — a torn stripe.
+    int recon_slot = -1;
+    uint64_t recon_acc = 0;
   };
   auto works = std::make_shared<std::vector<StripeWork>>();
   struct ReadJoin {
@@ -241,11 +246,20 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
 
   struct NeededRead {
     size_t work_index;
-    int slot;
+    int slot;   // patterns slot to fill, or -1 for a parity fold-only read
     int child;
     uint64_t stripe;
+    bool fill;  // store the value into patterns[slot]
+    bool fold;  // XOR the value into recon_acc
   };
   std::vector<NeededRead> reads;
+
+  int failed_children = 0;
+  for (int c = 0; c < n_; ++c) {
+    if (child_failed_[static_cast<size_t>(c)]) {
+      failed_children++;
+    }
+  }
 
   for (uint64_t stripe : stripes) {
     auto it = cache_.find(stripe);
@@ -259,15 +273,41 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
     work.dirty = entry.dirty;
     if (entry.dirty_count < static_cast<uint64_t>(k_)) {
       stats_.partial_stripe_flushes++;
+      // A non-dirty slot on the failed child cannot be read; reconstruct
+      // its old value instead so the new parity still covers it. Possible
+      // only while a single child is failed (the survivors are complete).
       for (int slot = 0; slot < k_; ++slot) {
-        if (entry.dirty[static_cast<size_t>(slot)]) {
-          continue;
+        if (!entry.dirty[static_cast<size_t>(slot)] &&
+            child_failed_[static_cast<size_t>(
+                geometry_.DataDrive(stripe, slot))]) {
+          work.recon_slot = slot;
+          break;
         }
+      }
+      if (work.recon_slot >= 0 && failed_children > 1) {
+        BIZA_LOG_ERROR(
+            "mdraid: stripe %llu doubly degraded, block lost from parity",
+            static_cast<unsigned long long>(stripe));
+        work.recon_slot = -1;
+      }
+      for (int slot = 0; slot < k_; ++slot) {
         const int child = geometry_.DataDrive(stripe, slot);
         if (child_failed_[static_cast<size_t>(child)]) {
-          continue;  // degraded: treat as zero; parity covers it
+          continue;  // unreadable; recon_slot covers the non-dirty case
         }
-        reads.push_back(NeededRead{works->size(), slot, child, stripe});
+        const bool fill = !entry.dirty[static_cast<size_t>(slot)];
+        // With a reconstruction pending, EVERY surviving data slot's old
+        // value folds in — including dirty slots, whose cache value is new.
+        const bool fold = work.recon_slot >= 0;
+        if (fill || fold) {
+          reads.push_back(
+              NeededRead{works->size(), slot, child, stripe, fill, fold});
+        }
+      }
+      if (work.recon_slot >= 0) {
+        const int pchild = geometry_.ParityDrive(stripe);
+        reads.push_back(
+            NeededRead{works->size(), -1, pchild, stripe, false, true});
       }
     } else {
       stats_.full_stripe_flushes++;
@@ -284,13 +324,18 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
   // per-child merging of contiguous stripes.
   read_join->then = [this, works, release]() {
     // child -> list of (child_offset, pattern, tag)
-    struct ChildWrite {
+    struct PendingWrite {
       uint64_t offset;
       uint64_t pattern;
       WriteTag tag;
     };
-    std::vector<std::vector<ChildWrite>> per_child(static_cast<size_t>(n_));
-    for (const StripeWork& work : *works) {
+    std::vector<std::vector<PendingWrite>> per_child(static_cast<size_t>(n_));
+    for (StripeWork& work : *works) {
+      if (work.recon_slot >= 0) {
+        // recon_acc = old parity XOR every other data slot's old value =
+        // the failed slot's old value; the new parity now covers it.
+        work.patterns[static_cast<size_t>(work.recon_slot)] = work.recon_acc;
+      }
       cpu_.Charge("mdraid",
                   config_.costs.parity_xor_ns_per_kib * (kBlockSize / kKiB) *
                       static_cast<SimTime>(k_));
@@ -301,18 +346,21 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
         }
         const int child = geometry_.DataDrive(work.stripe, slot);
         stats_.flushed_data_blocks++;
-        if (child_failed_[static_cast<size_t>(child)]) {
+        if (!ChildWritable(child)) {
+          stats_.degraded_writes++;  // parity alone carries this block
           continue;
         }
         per_child[static_cast<size_t>(child)].push_back(
-            ChildWrite{work.stripe, work.patterns[static_cast<size_t>(slot)],
-                       WriteTag::kData});
+            PendingWrite{work.stripe, work.patterns[static_cast<size_t>(slot)],
+                         WriteTag::kData});
       }
       const int pchild = geometry_.ParityDrive(work.stripe);
       stats_.flushed_parity_blocks++;
-      if (!child_failed_[static_cast<size_t>(pchild)]) {
+      if (ChildWritable(pchild)) {
         per_child[static_cast<size_t>(pchild)].push_back(
-            ChildWrite{work.stripe, parity, WriteTag::kParity});
+            PendingWrite{work.stripe, parity, WriteTag::kParity});
+      } else {
+        stats_.degraded_writes++;
       }
     }
 
@@ -334,7 +382,7 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
         continue;
       }
       std::sort(writes.begin(), writes.end(),
-                [](const ChildWrite& a, const ChildWrite& b) {
+                [](const PendingWrite& a, const PendingWrite& b) {
                   return a.offset < b.offset;
                 });
       size_t i = 0;
@@ -353,16 +401,19 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
           patterns.push_back(writes[w].pattern);
         }
         write_join->pending++;
-        children_[static_cast<size_t>(child)]->SubmitWrite(
-            writes[i].offset, std::move(patterns),
-            [wrelease](const Status& status) {
-              if (!status.ok()) {
-                BIZA_LOG_ERROR("mdraid child write failed: %s",
-                               status.ToString().c_str());
-              }
-              wrelease();
-            },
-            writes[i].tag);
+        ChildWrite(child, writes[i].offset, std::move(patterns), writes[i].tag,
+                   0, [this, wrelease, child](const Status& status) {
+                     if (!status.ok()) {
+                       if (status.code() == ErrorCode::kUnavailable) {
+                         // Lost mid-flight: the data stays covered by the
+                         // surviving children's parity.
+                         OnChildUnavailable(child);
+                       }
+                       BIZA_LOG_ERROR("mdraid child write failed: %s",
+                                      status.ToString().c_str());
+                     }
+                     wrelease();
+                   });
         i = j;
       }
     }
@@ -373,18 +424,28 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
   for (const NeededRead& need : reads) {
     read_join->pending++;
     stats_.rmw_read_blocks++;
-    children_[static_cast<size_t>(need.child)]->SubmitRead(
-        need.stripe, 1,
-        [works, need, read_join](const Status& status,
-                                 std::vector<uint64_t> patterns) {
-          if (status.ok() && !patterns.empty()) {
-            (*works)[need.work_index].patterns[static_cast<size_t>(need.slot)] =
-                patterns[0];
-          }
-          if (--read_join->pending == 0) {
-            read_join->then();
-          }
-        });
+    ChildRead(need.child, need.stripe, 1, 0,
+              [this, works, need, read_join](const Status& status,
+                                             std::vector<uint64_t> patterns) {
+                if (status.ok() && !patterns.empty()) {
+                  StripeWork& work = (*works)[need.work_index];
+                  if (need.fill) {
+                    work.patterns[static_cast<size_t>(need.slot)] = patterns[0];
+                  }
+                  if (need.fold) {
+                    work.recon_acc ^= patterns[0];
+                  }
+                } else {
+                  if (status.code() == ErrorCode::kUnavailable) {
+                    OnChildUnavailable(need.child);
+                  }
+                  BIZA_LOG_ERROR("mdraid reconstruct-read failed: %s",
+                                 status.ToString().c_str());
+                }
+                if (--read_join->pending == 0) {
+                  read_join->then();
+                }
+              });
   }
   if (--read_join->pending == 0) {
     read_join->then();
@@ -402,6 +463,7 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   struct ReadState {
     std::vector<uint64_t> out;
     int pending = 1;
+    Status error;
     ReadCallback cb;
   };
   auto state = std::make_shared<ReadState>();
@@ -409,7 +471,7 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   state->cb = std::move(cb);
   auto release = [state]() {
     if (--state->pending == 0) {
-      state->cb(OkStatus(), std::move(state->out));
+      state->cb(state->error, std::move(state->out));
     }
   };
 
@@ -426,12 +488,37 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
     if (!child_failed_[static_cast<size_t>(child)]) {
       state->pending++;
       const uint64_t out_at = i;
-      children_[static_cast<size_t>(child)]->SubmitRead(
-          stripe, 1,
-          [state, out_at, release](const Status& status,
-                                   std::vector<uint64_t> patterns) {
-            if (status.ok() && !patterns.empty()) {
-              state->out[out_at] = patterns[0];
+      ChildRead(
+          child, stripe, 1, 0,
+          [this, state, out_at, release, child, target](
+              const Status& status, std::vector<uint64_t> patterns) {
+            if (status.ok()) {
+              if (!patterns.empty()) {
+                state->out[out_at] = patterns[0];
+              }
+              release();
+              return;
+            }
+            if (status.code() == ErrorCode::kUnavailable) {
+              // The child died under this read: flag it and re-dispatch the
+              // block through the degraded path below.
+              OnChildUnavailable(child);
+              stats_.user_read_blocks--;  // re-dispatch re-counts it
+              SubmitRead(target, 1,
+                         [state, out_at, release](const Status& s,
+                                                  std::vector<uint64_t> pats) {
+                           if (!s.ok() && state->error.ok()) {
+                             state->error = s;
+                           }
+                           if (!pats.empty()) {
+                             state->out[out_at] = pats[0];
+                           }
+                           release();
+                         });
+              return;
+            }
+            if (state->error.ok()) {
+              state->error = status;
             }
             release();
           });
@@ -441,6 +528,19 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
     cpu_.Charge("mdraid",
                 config_.costs.parity_xor_ns_per_kib * (kBlockSize / kKiB) *
                     static_cast<SimTime>(k_));
+    int failed = 0;
+    for (int c = 0; c < n_; ++c) {
+      if (child_failed_[static_cast<size_t>(c)]) {
+        failed++;
+      }
+    }
+    if (failed > 1) {
+      // RAID 5 survives one failure; a second makes the block unrecoverable.
+      if (state->error.ok()) {
+        state->error = DataLossError("mdraid: doubly degraded read");
+      }
+      continue;
+    }
     struct Recon {
       uint64_t acc = 0;
       int pending = 0;
@@ -462,17 +562,25 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       if (other == child || child_failed_[static_cast<size_t>(other)]) {
         continue;
       }
-      children_[static_cast<size_t>(other)]->SubmitRead(
-          stripe, 1,
-          [recon, finish_recon](const Status& status,
-                                std::vector<uint64_t> patterns) {
-            if (status.ok() && !patterns.empty()) {
-              recon->acc ^= patterns[0];
-            }
-            if (--recon->pending == 0) {
-              finish_recon();
-            }
-          });
+      ChildRead(other, stripe, 1, 0,
+                [this, state, recon, finish_recon, other](
+                    const Status& status, std::vector<uint64_t> patterns) {
+                  if (status.ok() && !patterns.empty()) {
+                    recon->acc ^= patterns[0];
+                  } else {
+                    if (status.code() == ErrorCode::kUnavailable) {
+                      OnChildUnavailable(other);
+                    }
+                    if (state->error.ok()) {
+                      state->error =
+                          status.ok() ? DataLossError("short recon read")
+                                      : status;
+                    }
+                  }
+                  if (--recon->pending == 0) {
+                    finish_recon();
+                  }
+                });
     }
   }
   release();
@@ -484,6 +592,197 @@ void Mdraid::FlushBuffers(std::function<void()> done) {
     return;
   }
   FlushLruBatch([this, done = std::move(done)]() { FlushBuffers(done); });
+}
+
+// ---------------------------------------------------------------------------
+// Fault plane: auto-detection, bounded retries, online rebuild
+// ---------------------------------------------------------------------------
+
+void Mdraid::OnChildUnavailable(int child) {
+  if (child_failed_[static_cast<size_t>(child)]) {
+    return;
+  }
+  BIZA_LOG_WARN("mdraid: child %d unavailable, entering degraded mode", child);
+  child_failed_[static_cast<size_t>(child)] = true;
+}
+
+void Mdraid::ChildRead(
+    int child, uint64_t offset, uint64_t nblocks, int attempt,
+    std::function<void(const Status&, std::vector<uint64_t>)> cb) {
+  children_[static_cast<size_t>(child)]->SubmitRead(
+      offset, nblocks,
+      [this, child, offset, nblocks, attempt, cb = std::move(cb)](
+          const Status& status, std::vector<uint64_t> patterns) mutable {
+        if (IsRetriable(status) && attempt < config_.max_io_retries) {
+          stats_.read_retries++;
+          sim_->Schedule(
+              RetryBackoffNs(attempt, config_.retry_backoff_base_ns),
+              [this, child, offset, nblocks, attempt,
+               cb = std::move(cb)]() mutable {
+                ChildRead(child, offset, nblocks, attempt + 1, std::move(cb));
+              });
+          return;
+        }
+        cb(status, std::move(patterns));
+      });
+}
+
+void Mdraid::ChildWrite(int child, uint64_t offset,
+                        std::vector<uint64_t> patterns, WriteTag tag,
+                        int attempt, WriteCallback cb) {
+  auto payload = patterns;  // retained so a retry can resubmit the content
+  children_[static_cast<size_t>(child)]->SubmitWrite(
+      offset, std::move(patterns),
+      [this, child, offset, payload = std::move(payload), tag, attempt,
+       cb = std::move(cb)](const Status& status) mutable {
+        if (IsRetriable(status) && attempt < config_.max_io_retries) {
+          stats_.write_retries++;
+          sim_->Schedule(
+              RetryBackoffNs(attempt, config_.retry_backoff_base_ns),
+              [this, child, offset, payload = std::move(payload), tag, attempt,
+               cb = std::move(cb)]() mutable {
+                ChildWrite(child, offset, std::move(payload), tag, attempt + 1,
+                           std::move(cb));
+              });
+          return;
+        }
+        cb(status);
+      },
+      tag);
+}
+
+Status Mdraid::RebuildChild(int child, BlockTarget* replacement) {
+  if (child < 0 || child >= n_) {
+    return InvalidArgumentError("rebuild: bad child index");
+  }
+  if (!child_failed_[static_cast<size_t>(child)]) {
+    return FailedPreconditionError("rebuild: child is not failed");
+  }
+  if (rebuild_active_) {
+    return FailedPreconditionError("rebuild: a rebuild is already running");
+  }
+  if (replacement == nullptr ||
+      replacement->capacity_blocks() < stripes_total_) {
+    return InvalidArgumentError("rebuild: incompatible replacement");
+  }
+  children_[static_cast<size_t>(child)] = replacement;
+  rebuild_active_ = true;
+  rebuild_child_ = child;
+  rebuild_flushed_ = false;
+  rebuild_cursor_ = 0;
+  rebuild_queue_.resize(stripes_total_);
+  for (uint64_t s = 0; s < stripes_total_; ++s) {
+    rebuild_queue_[s] = s;
+  }
+  rebuild_deferred_.clear();
+  BIZA_LOG_INFO("mdraid: rebuilding child %d, %llu stripes", child,
+                static_cast<unsigned long long>(stripes_total_));
+  sim_->Schedule(0, [this]() { RebuildSweepStep(); });
+  return OkStatus();
+}
+
+void Mdraid::RebuildSweepStep() {
+  if (!rebuild_active_) {
+    return;
+  }
+  if (rebuild_cursor_ >= rebuild_queue_.size()) {
+    if (rebuild_deferred_.empty()) {
+      FinishRebuildChild();
+      return;
+    }
+    // Deferred stripes were dirty in cache when first visited. Drain the
+    // write-back cache once (their flushes write current data and parity to
+    // the now-writable replacement), then reconstruct whatever is left.
+    rebuild_queue_ = std::move(rebuild_deferred_);
+    rebuild_deferred_.clear();
+    rebuild_cursor_ = 0;
+    if (!rebuild_flushed_) {
+      rebuild_flushed_ = true;
+      FlushBuffers([this]() { RebuildSweepStep(); });
+      return;
+    }
+  }
+  // Throttle: one batch, then yield for rebuild_interval_ns. The join
+  // schedules the next step after every write of this batch completed.
+  struct BatchJoin {
+    Mdraid* md;
+    explicit BatchJoin(Mdraid* m) : md(m) {}
+    ~BatchJoin() {
+      Mdraid* m = md;
+      m->sim_->Schedule(m->config_.rebuild_interval_ns,
+                        [m]() { m->RebuildSweepStep(); });
+    }
+  };
+  auto batch = std::make_shared<BatchJoin>(this);
+  uint64_t dispatched = 0;
+  while (rebuild_cursor_ < rebuild_queue_.size() &&
+         dispatched < config_.rebuild_batch_stripes) {
+    const uint64_t stripe = rebuild_queue_[rebuild_cursor_++];
+    auto it = cache_.find(stripe);
+    if (!rebuild_flushed_ && it != cache_.end() && it->second.dirty_count > 0) {
+      rebuild_deferred_.push_back(stripe);
+      continue;
+    }
+    dispatched++;
+    // The replacement's block at offset `stripe` — data or parity role
+    // alike — is the XOR of the other n-1 children's blocks there.
+    struct Recon {
+      uint64_t acc = 0;
+      int pending = 0;
+      bool dispatched = false;
+    };
+    auto recon = std::make_shared<Recon>();
+    const int child = rebuild_child_;
+    auto finish = [this, stripe, recon, batch, child]() {
+      stats_.rebuilt_blocks++;
+      ChildWrite(child, stripe, {recon->acc}, WriteTag::kData, 0,
+                 [batch](const Status& s) {
+                   if (!s.ok()) {
+                     BIZA_LOG_ERROR("mdraid rebuild write failed: %s",
+                                    s.ToString().c_str());
+                   }
+                 });
+    };
+    for (int other = 0; other < n_; ++other) {
+      if (other == child || child_failed_[static_cast<size_t>(other)]) {
+        continue;
+      }
+      recon->pending++;
+    }
+    for (int other = 0; other < n_; ++other) {
+      if (other == child || child_failed_[static_cast<size_t>(other)]) {
+        continue;
+      }
+      ChildRead(other, stripe, 1, 0,
+                [recon, finish](const Status& s, std::vector<uint64_t> pats) {
+                  if (s.ok() && !pats.empty()) {
+                    recon->acc ^= pats[0];
+                  } else {
+                    BIZA_LOG_ERROR("mdraid rebuild read failed: %s",
+                                   s.ToString().c_str());
+                  }
+                  if (--recon->pending == 0 && recon->dispatched) {
+                    finish();
+                  }
+                });
+    }
+    recon->dispatched = true;
+    if (recon->pending == 0) {
+      finish();
+    }
+  }
+}
+
+void Mdraid::FinishRebuildChild() {
+  child_failed_[static_cast<size_t>(rebuild_child_)] = false;
+  rebuild_active_ = false;
+  rebuild_flushed_ = false;
+  rebuild_queue_.clear();
+  rebuild_deferred_.clear();
+  rebuild_cursor_ = 0;
+  BIZA_LOG_INFO("mdraid: rebuild of child %d complete, %llu blocks",
+                rebuild_child_,
+                static_cast<unsigned long long>(stats_.rebuilt_blocks));
 }
 
 }  // namespace biza

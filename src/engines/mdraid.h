@@ -41,6 +41,16 @@ struct MdraidConfig {
   SimTime lock_ns_per_page = 700;  // serialized handling cost per 4 KiB page
   uint64_t flush_run_stripes = 64; // max contiguous stripes per flush batch
   double flush_high_watermark = 0.75;
+
+  // Bounded retry-with-backoff for transient child-I/O errors, mirroring
+  // BizaConfig: the i-th retry fires after RetryBackoffNs(i, base).
+  int max_io_retries = 3;
+  SimTime retry_backoff_base_ns = 10 * kMicrosecond;
+  // Online-rebuild throttle (RebuildChild): stripes reconstructed per batch
+  // and the idle gap between batches.
+  uint64_t rebuild_batch_stripes = 64;
+  SimTime rebuild_interval_ns = 200 * kMicrosecond;
+
   CpuCostModel costs;
 };
 
@@ -52,6 +62,10 @@ struct MdraidStats {
   uint64_t rmw_read_blocks = 0;
   uint64_t full_stripe_flushes = 0;
   uint64_t partial_stripe_flushes = 0;
+  uint64_t degraded_writes = 0;   // flush writes skipped on a failed child
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t rebuilt_blocks = 0;    // blocks reconstructed onto a replacement
 };
 
 class Mdraid : public BlockTarget {
@@ -70,6 +84,13 @@ class Mdraid : public BlockTarget {
   // Fault injection: marks a child failed. Reads reconstruct from parity;
   // writes skip the failed child (parity keeps the array consistent).
   void SetChildFailed(int child, bool failed);
+
+  // Online rebuild: swaps the failed `child` for `replacement` (an empty
+  // device of at least the same capacity) and reconstructs its blocks from
+  // the survivors in throttled batches while foreground I/O continues.
+  // child_failed_ clears when the sweep completes.
+  Status RebuildChild(int child, BlockTarget* replacement);
+  bool rebuild_active() const { return rebuild_active_; }
 
   const MdraidStats& stats() const { return stats_; }
   CpuAccount& cpu() { return cpu_; }
@@ -101,6 +122,22 @@ class Mdraid : public BlockTarget {
   void OnTimer();
   void MaybeReleaseStalled();
 
+  // Fault plane. A child accepts writes while healthy or while it is the
+  // replacement of an ongoing rebuild; reads of a rebuilding child stay
+  // forbidden until the sweep finishes (its blocks may still be stale).
+  bool ChildWritable(int child) const {
+    return !child_failed_[static_cast<size_t>(child)] ||
+           (rebuild_active_ && rebuild_child_ == child);
+  }
+  void OnChildUnavailable(int child);
+  // Child I/O with bounded retry-with-backoff for transient errors.
+  void ChildRead(int child, uint64_t offset, uint64_t nblocks, int attempt,
+                 std::function<void(const Status&, std::vector<uint64_t>)> cb);
+  void ChildWrite(int child, uint64_t offset, std::vector<uint64_t> patterns,
+                  WriteTag tag, int attempt, WriteCallback cb);
+  void RebuildSweepStep();
+  void FinishRebuildChild();
+
   Simulator* sim_;
   std::vector<BlockTarget*> children_;
   MdraidConfig config_;
@@ -120,6 +157,14 @@ class Mdraid : public BlockTarget {
   std::vector<std::function<void()>> stalled_;  // writes awaiting cache space
 
   std::vector<bool> child_failed_;
+
+  // Online-rebuild state (see RebuildChild).
+  bool rebuild_active_ = false;
+  int rebuild_child_ = -1;
+  std::vector<uint64_t> rebuild_queue_;     // stripe offsets to reconstruct
+  std::vector<uint64_t> rebuild_deferred_;  // dirty-in-cache, revisit later
+  size_t rebuild_cursor_ = 0;
+  bool rebuild_flushed_ = false;  // cache drained before the final pass
 
   MdraidStats stats_;
   CpuAccount cpu_;

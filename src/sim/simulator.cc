@@ -60,4 +60,13 @@ void Simulator::RunUntil(SimTime deadline) {
   }
 }
 
+void Simulator::DropPending() {
+  for (const HeapEntry& entry : heap_) {
+    // Destroy (never invoke) the parked callback, then recycle its slot.
+    SlotPtr(entry.slot)->Reset();
+    free_slots_.push_back(entry.slot);
+  }
+  heap_.clear();
+}
+
 }  // namespace biza

@@ -81,6 +81,13 @@ class Simulator {
   void RunFor(SimTime duration_ns) { RunUntil(now_ + duration_ns); }
   void RunUntil(SimTime deadline);
 
+  // Discards every queued event without firing it — the simulation analogue
+  // of a power cut: device completions, timers, and background steps still
+  // in flight simply never happen. Callbacks are destroyed (releasing any
+  // captured resources) and their slots recycled; Now() is unchanged, so the
+  // simulation can continue past the crash (e.g. to run recovery).
+  void DropPending();
+
   size_t pending_events() const { return heap_.size(); }
   uint64_t fired_events() const { return fired_; }
 

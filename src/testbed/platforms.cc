@@ -115,7 +115,38 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
       break;
     }
   }
+
+  // Fault plane: one injector interposes on every member device. Device ids
+  // match creation order (0..num_ssds-1), so --fail-device=D@T addresses the
+  // D-th member regardless of platform kind.
+  p.fault_ = std::make_unique<FaultInjector>(sim, config.faults);
+  for (auto& dev : p.zns_) {
+    dev->AttachFaultInjector(p.fault_.get(), p.next_fault_id_++);
+  }
+  for (auto& dev : p.conv_) {
+    dev->AttachFaultInjector(p.fault_.get(), p.next_fault_id_++);
+  }
   return platform;
+}
+
+ZnsDevice* Platform::AddSpareZnsDevice(Simulator* sim) {
+  ZnsConfig zc = config_.zns;
+  zc.seed = config_.seed * 1000003ULL +
+            static_cast<uint64_t>(1000 + next_fault_id_);
+  zns_.push_back(std::make_unique<ZnsDevice>(sim, zc));
+  zns_.back()->AttachFaultInjector(fault_.get(), next_fault_id_++);
+  return zns_.back().get();
+}
+
+BlockTarget* Platform::AddSpareConvTarget(Simulator* sim) {
+  ConvSsdConfig cc = config_.conv;
+  cc.seed = config_.seed * 2000003ULL +
+            static_cast<uint64_t>(1000 + next_fault_id_);
+  conv_.push_back(std::make_unique<ConvSsd>(sim, cc));
+  conv_.back()->AttachFaultInjector(fault_.get(), next_fault_id_++);
+  conv_adapters_.push_back(
+      std::make_unique<ConvSsdTarget>(conv_.back().get()));
+  return conv_adapters_.back().get();
 }
 
 WaBreakdown Platform::CollectWa(uint64_t user_blocks) const {

@@ -24,6 +24,7 @@
 #include "src/engines/dmzap.h"
 #include "src/engines/mdraid.h"
 #include "src/engines/raizn.h"
+#include "src/fault/fault_injector.h"
 #include "src/metrics/wa_report.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_device.h"
@@ -51,6 +52,12 @@ struct PlatformConfig {
   RaiznConfig raizn;
   MdraidConfig mdraid;
   uint64_t seed = 1;
+
+  // Scripted device-fault schedule (device death, fail-slow, transient
+  // error rates). Every platform always attaches a FaultInjector to its
+  // member devices — an empty plan injects nothing and consumes no RNG, so
+  // healthy runs stay bit-identical to pre-fault-plane builds.
+  FaultPlan faults;
 
   // Matches per-SSD capacities: the conventional SSD exposes the same data
   // capacity as one ZNS SSD.
@@ -89,12 +96,23 @@ class Platform {
   DmZap* top_dmzap() {
     return dmzaps_.empty() ? nullptr : dmzaps_[0].get();
   }
+  FaultInjector* faults() { return fault_.get(); }
+
+  // Hot-spare provisioning for online rebuild: creates a fresh, empty
+  // member device (with the next fault-plan device id) and returns it. The
+  // platform keeps ownership; pass the pointer to BizaArray::ReplaceDevice
+  // or wrap it for Mdraid::RebuildChild.
+  ZnsDevice* AddSpareZnsDevice(Simulator* sim);
+  BlockTarget* AddSpareConvTarget(Simulator* sim);
 
  private:
   Platform() = default;
 
   PlatformKind kind_ = PlatformKind::kBiza;
   PlatformConfig config_;
+
+  std::unique_ptr<FaultInjector> fault_;
+  int next_fault_id_ = 0;
 
   std::vector<std::unique_ptr<ZnsDevice>> zns_;
   std::vector<std::unique_ptr<ConvSsd>> conv_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "src/common/logging.h"
 
@@ -124,16 +125,21 @@ DriverReport Driver::Run(uint64_t max_requests, SimTime max_duration) {
   deadline_ = start_ + max_duration;
   last_completion_ = start_;
   if (arrival_interval_ns_ > 0) {
-    // Open-loop pacing: one arrival per interval, capped at iodepth.
+    // Open-loop pacing: one arrival per interval, capped at iodepth. The
+    // tick holds only a weak self-reference (each scheduled event owns a
+    // strong copy), so the chain has no ownership cycle and the function
+    // dies with the last pending event or this scope, whichever is later.
     auto tick = std::make_shared<std::function<void()>>();
-    *tick = [this, tick]() {
+    *tick = [this, wtick = std::weak_ptr<std::function<void()>>(tick)]() {
       if (ShouldStop()) {
         return;
       }
       if (inflight_ < iodepth_) {
         IssueOne();
       }
-      sim_->Schedule(arrival_interval_ns_, [tick]() { (*tick)(); });
+      if (auto self = wtick.lock()) {
+        sim_->Schedule(arrival_interval_ns_, [self]() { (*self)(); });
+      }
     };
     (*tick)();
   } else {

@@ -133,7 +133,12 @@ void ZnsDevice::SubmitWrite(uint32_t zone, uint64_t offset,
 void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
                         std::vector<uint64_t> patterns,
                         std::vector<OobRecord> oobs, WriteCallback cb) {
-  Status status = ValidateZoneId(zone);
+  Status status = FaultCheck(IoKind::kWrite);
+  if (!status.ok()) {
+    cb(status);
+    return;
+  }
+  status = ValidateZoneId(zone);
   if (!status.ok()) {
     cb(status);
     return;
@@ -206,7 +211,8 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
       }
     }
     MaybeTransitionFull(z);
-    sim_->ScheduleAt(done, [cb = std::move(cb)]() { cb(OkStatus()); });
+    sim_->ScheduleAt(Stretch(z.channel, done),
+                     [cb = std::move(cb)]() { cb(OkStatus()); });
     return;
   }
 
@@ -230,7 +236,8 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
   stats_.flash_programmed_blocks += n;
   const SimTime done = backend_->Write(z.channel, bytes);
   MaybeTransitionFull(z);
-  sim_->ScheduleAt(done, [cb = std::move(cb)]() { cb(OkStatus()); });
+  sim_->ScheduleAt(Stretch(z.channel, done),
+                   [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
@@ -243,7 +250,12 @@ void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
 
 void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
                          std::vector<OobRecord> oobs, AppendCallback cb) {
-  Status status = ValidateZoneId(zone);
+  Status status = FaultCheck(IoKind::kWrite);
+  if (!status.ok()) {
+    cb(status, 0);
+    return;
+  }
+  status = ValidateZoneId(zone);
   if (!status.ok()) {
     cb(status, 0);
     return;
@@ -283,7 +295,7 @@ void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
   stats_.flash_programmed_blocks += n;
   const SimTime done = backend_->Write(z.channel, n * kBlockSize);
   MaybeTransitionFull(z);
-  sim_->ScheduleAt(done,
+  sim_->ScheduleAt(Stretch(z.channel, done),
                    [cb = std::move(cb), offset]() { cb(OkStatus(), offset); });
 }
 
@@ -296,7 +308,12 @@ void ZnsDevice::SubmitRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
 
 void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
                        ReadCallback cb) {
-  Status status = ValidateZoneId(zone);
+  Status status = FaultCheck(IoKind::kRead);
+  if (!status.ok()) {
+    cb(status, {});
+    return;
+  }
+  status = ValidateZoneId(zone);
   if (!status.ok()) {
     cb(status, {});
     return;
@@ -334,12 +351,15 @@ void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
     // Never-written zone: instant zero-fill from the controller.
     done = backend_->BufferRead(bytes);
   }
-  sim_->ScheduleAt(done, [cb = std::move(cb), result = std::move(result)]() mutable {
-    cb(OkStatus(), std::move(result));
-  });
+  sim_->ScheduleAt(
+      Stretch(z.channel, done),
+      [cb = std::move(cb), result = std::move(result)]() mutable {
+        cb(OkStatus(), std::move(result));
+      });
 }
 
 Status ZnsDevice::OpenZone(uint32_t zone, bool with_zrwa) {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   BIZA_RETURN_IF_ERROR(ValidateZoneId(zone));
   Zone& z = zones_[zone];
   if (with_zrwa && config_.zrwa_blocks == 0) {
@@ -379,6 +399,7 @@ Status ZnsDevice::OpenZone(uint32_t zone, bool with_zrwa) {
 }
 
 Status ZnsDevice::CloseZone(uint32_t zone) {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   BIZA_RETURN_IF_ERROR(ValidateZoneId(zone));
   Zone& z = zones_[zone];
   if (z.state != ZoneState::kOpen) {
@@ -390,6 +411,7 @@ Status ZnsDevice::CloseZone(uint32_t zone) {
 }
 
 Status ZnsDevice::FinishZone(uint32_t zone) {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   BIZA_RETURN_IF_ERROR(ValidateZoneId(zone));
   Zone& z = zones_[zone];
   if (z.state == ZoneState::kFull) {
@@ -418,6 +440,7 @@ Status ZnsDevice::FinishZone(uint32_t zone) {
 }
 
 Status ZnsDevice::ResetZone(uint32_t zone) {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   BIZA_RETURN_IF_ERROR(ValidateZoneId(zone));
   Zone& z = zones_[zone];
   if (z.state == ZoneState::kOffline) {
@@ -443,6 +466,7 @@ Status ZnsDevice::ResetZone(uint32_t zone) {
 }
 
 Status ZnsDevice::CommitZrwa(uint32_t zone, uint64_t upto) {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   BIZA_RETURN_IF_ERROR(ValidateZoneId(zone));
   Zone& z = zones_[zone];
   if (!z.with_zrwa) {
@@ -473,6 +497,7 @@ ZoneInfo ZnsDevice::Report(uint32_t zone) const {
 }
 
 Result<OobRecord> ZnsDevice::ReadOobSync(uint32_t zone, uint64_t offset) const {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   if (zone >= config_.num_zones) {
     return OutOfRangeError("bad zone");
   }
@@ -488,6 +513,7 @@ Result<OobRecord> ZnsDevice::ReadOobSync(uint32_t zone, uint64_t offset) const {
 
 Result<uint64_t> ZnsDevice::ReadPatternSync(uint32_t zone,
                                             uint64_t offset) const {
+  BIZA_RETURN_IF_ERROR(CheckAlive());
   if (zone >= config_.num_zones) {
     return OutOfRangeError("bad zone");
   }

@@ -38,6 +38,7 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
+#include "src/fault/fault_injector.h"
 #include "src/nand/nand_backend.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_config.h"
@@ -161,6 +162,13 @@ class ZnsDevice {
   NandBackend& backend() { return *backend_; }
   Simulator* sim() { return sim_; }
 
+  // Interposes `injector` on every command this device serves; `device_id`
+  // names this device in the injector's fault plan. Pass nullptr to detach.
+  void AttachFaultInjector(FaultInjector* injector, int device_id) {
+    fault_ = injector;
+    fault_device_id_ = device_id;
+  }
+
  private:
   struct Block {
     uint64_t pattern = 0;
@@ -187,6 +195,23 @@ class ZnsDevice {
   SimTime DispatchDelay();
   void AtArrival(std::function<void()> fn);
 
+  // Fault-plane hooks: consulted at command arrival / completion scheduling.
+  Status FaultCheck(IoKind kind) {
+    return fault_ != nullptr ? fault_->OnIo(fault_device_id_, kind)
+                             : OkStatus();
+  }
+  Status CheckAlive() const {
+    if (fault_ != nullptr && fault_->IsDead(fault_device_id_)) {
+      return UnavailableError("device dead");
+    }
+    return OkStatus();
+  }
+  SimTime Stretch(int channel, SimTime done) const {
+    return fault_ != nullptr
+               ? fault_->StretchCompletion(fault_device_id_, channel, done)
+               : done;
+  }
+
   Status ValidateZoneId(uint32_t zone) const;
   Status EnsureOpenForWrite(Zone& z, uint32_t zone_id);
   void AssignChannel(Zone& z);
@@ -206,6 +231,8 @@ class ZnsDevice {
   ZnsConfig config_;
   std::unique_ptr<NandBackend> backend_;
   Rng rng_;
+  FaultInjector* fault_ = nullptr;
+  int fault_device_id_ = -1;
   std::vector<Zone> zones_;
   int open_zones_ = 0;
   uint64_t open_rr_counter_ = 0;

@@ -1,5 +1,7 @@
 // Tests of the conventional SSD model: FTL mapping, overwrites, internal GC
 // and its write amplification.
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "src/convssd/conv_ssd.h"
@@ -118,8 +120,9 @@ TEST(ConvSsd, DataSurvivesGc) {
     truth[lbn] = lbn * 13 + 1;
   }
   for (uint64_t lbn = 0; lbn < used; lbn += 64) {
-    std::vector<uint64_t> patterns(64);
-    for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t chunk = std::min<uint64_t>(64, used - lbn);
+    std::vector<uint64_t> patterns(chunk);
+    for (uint64_t i = 0; i < chunk; ++i) {
       patterns[i] = truth[lbn + i];
     }
     ASSERT_TRUE(WriteSync(&sim, &dev, lbn, std::move(patterns)).ok());

@@ -9,6 +9,7 @@
 #include "src/engines/dmzap.h"
 #include "src/engines/mdraid.h"
 #include "src/engines/raizn.h"
+#include "src/fault/fault_injector.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_device.h"
 
@@ -309,6 +310,7 @@ TEST(Raizn, FinishSealsPartialTail) {
 
 struct MdraidFixture {
   Simulator sim;
+  FaultInjector fault{&sim};  // empty plan: invisible to non-fault tests
   std::vector<std::unique_ptr<ConvSsd>> devs;
   std::vector<std::unique_ptr<ConvSsdTarget>> targets;
   std::unique_ptr<Mdraid> mdraid;
@@ -321,10 +323,23 @@ struct MdraidFixture {
       cc.pages_per_flash_block = 256;
       cc.seed = static_cast<uint64_t>(d) + 1;
       devs.push_back(std::make_unique<ConvSsd>(&sim, cc));
+      devs.back()->AttachFaultInjector(&fault, d);
       targets.push_back(std::make_unique<ConvSsdTarget>(devs.back().get()));
       children.push_back(targets.back().get());
     }
     mdraid = std::make_unique<Mdraid>(&sim, children, config);
+  }
+
+  // Provisions a fresh spare child for RebuildChild.
+  BlockTarget* AddSpare() {
+    ConvSsdConfig cc;
+    cc.capacity_blocks = 8192;
+    cc.pages_per_flash_block = 256;
+    cc.seed = 99;
+    devs.push_back(std::make_unique<ConvSsd>(&sim, cc));
+    devs.back()->AttachFaultInjector(&fault, static_cast<int>(devs.size()) - 1);
+    targets.push_back(std::make_unique<ConvSsdTarget>(devs.back().get()));
+    return targets.back().get();
   }
 };
 
@@ -434,6 +449,103 @@ TEST(Mdraid, DegradedRandomReadsAllReconstruct) {
     auto r = BlockReadSync(&f.sim, f.mdraid.get(), lbn, 1);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+// Regression for the degraded-flush bug: a partial flush whose stripe has a
+// non-dirty slot on the failed child must reconstruct that slot's old value
+// from parity (old parity XOR surviving slots), not treat it as zero.
+TEST(Mdraid, PartialFlushReconstructsSlotOnFailedChild) {
+  MdraidFixture f;
+  // Stripe 0 = lbns 0..2 on children 0..2 (parity on child 3).
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {10, 20, 30}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  f.mdraid->SetChildFailed(1, true);
+  // Dirty only slot 0; slot 1 lives solely on the dead child + parity now.
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {11}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  // The flush reconstructed the lost slot from old parity + survivors.
+  EXPECT_GT(f.mdraid->stats().rmw_read_blocks, 0u);
+  auto r = BlockReadSync(&f.sim, f.mdraid.get(), 0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 11u);
+  // lbn 1's old value must still reconstruct through the *new* parity.
+  r = BlockReadSync(&f.sim, f.mdraid.get(), 1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 20u);
+  r = BlockReadSync(&f.sim, f.mdraid.get(), 2, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 30u);
+  // Dirtying the failed child's own slot: the write is skipped (counted as
+  // degraded) and the value survives through parity alone.
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 1, {21}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.mdraid->stats().degraded_writes, 0u);
+  r = BlockReadSync(&f.sim, f.mdraid.get(), 1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 21u);
+}
+
+TEST(Mdraid, TransientChildErrorsRetried) {
+  MdraidFixture f;
+  f.fault.AddWriteErrors(0, 2);
+  ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), 0, {1, 2, 3}).ok());
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.fault.stats().injected_write_errors, 0u);
+  EXPECT_GT(f.mdraid->stats().write_retries, 0u);
+  // After the flush the stripe left the cache, so this read hits child 0.
+  f.fault.AddReadErrors(0, 2);
+  auto r = BlockReadSync(&f.sim, f.mdraid.get(), 0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 1u);
+  EXPECT_GT(f.mdraid->stats().read_retries, 0u);
+}
+
+TEST(Mdraid, OnlineRebuildRestoresFailedChild) {
+  MdraidFixture f;
+  Rng rng(9);
+  std::vector<uint64_t> truth(3000);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+  }
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 50) {
+    std::vector<uint64_t> chunk(truth.begin() + static_cast<long>(lbn),
+                                truth.begin() + static_cast<long>(lbn + 50));
+    ASSERT_TRUE(
+        BlockWriteSync(&f.sim, f.mdraid.get(), lbn, std::move(chunk)).ok());
+  }
+  f.mdraid->FlushBuffers([]() {});
+  f.sim.RunUntilIdle();
+
+  f.mdraid->SetChildFailed(2, true);
+  // Degraded overwrites while the child is down.
+  for (uint64_t lbn = 0; lbn < 60; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(BlockWriteSync(&f.sim, f.mdraid.get(), lbn, {truth[lbn]}).ok());
+  }
+
+  ASSERT_TRUE(f.mdraid->RebuildChild(2, f.AddSpare()).ok());
+  EXPECT_TRUE(f.mdraid->rebuild_active());
+  f.sim.RunUntilIdle();
+  EXPECT_FALSE(f.mdraid->rebuild_active());
+  EXPECT_GT(f.mdraid->stats().rebuilt_blocks, 0u);
+
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 71) {
+    auto r = BlockReadSync(&f.sim, f.mdraid.get(), lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn << " after rebuild";
+  }
+  // Redundancy restored: losing a different child must still reconstruct —
+  // the rebuilt child now carries correct data *and* parity blocks.
+  f.mdraid->SetChildFailed(0, true);
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 83) {
+    auto r = BlockReadSync(&f.sim, f.mdraid.get(), lbn, 1);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn << " degraded post-rebuild";
   }
 }
 

@@ -247,6 +247,32 @@ TEST(Simulator, CountsFiredEvents) {
   EXPECT_EQ(sim.fired_events(), 7u);
 }
 
+// Power-cut semantics: DropPending discards everything still queued —
+// including the captured state of the dropped callbacks — while leaving the
+// simulator usable for post-crash recovery work.
+TEST(Simulator, DropPendingDiscardsQueuedWork) {
+  Simulator sim;
+  int fired = 0;
+  auto token = std::make_shared<int>(0);
+  sim.Schedule(10, [&fired]() { fired++; });
+  sim.Schedule(100, [&fired, token]() { fired++; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(token.use_count(), 2);
+  sim.DropPending();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The dropped callback's capture was destroyed, not leaked.
+  EXPECT_EQ(token.use_count(), 1);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  // Still schedulable after the cut.
+  sim.Schedule(5, [&fired]() { fired++; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 55u);
+}
+
 TEST(FifoResource, ServesBackToBack) {
   FifoResource r(/*mb_per_s=*/1000.0, /*fixed_ns=*/0);
   // 1000 bytes at 1000 MB/s = 1000 ns.

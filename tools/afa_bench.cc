@@ -7,6 +7,7 @@
 //             [--zones=N] [--zone-mb=N] [--zrwa-kb=N] [--num-parity=M]
 //             [--deviation=P] [--expose-channels] [--verify]
 //             [--seeds=N] [--threads=T]
+//             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
 //
 //   afa_bench --list            # platforms and workloads
 //
@@ -14,6 +15,13 @@
 // Simulator per seed, run concurrently via the parallel runner) and reports
 // a per-seed row plus the mean; --threads caps runner concurrency (default:
 // BIZA_THREADS env or hardware concurrency).
+//
+// Fault injection (repeatable flags, device ids follow creation order):
+//   --fail-device=D@T   device D dies T seconds into the run (kUnavailable)
+//   --fail-slow=D:X     device D completes media work X times slower
+//   --rebuild           after the workload, hot-swap the first dead device
+//                       for a fresh spare and run the online rebuild to
+//                       completion (BIZA and mdraid+ConvSSD platforms)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +59,17 @@ struct Options {
   bool verify = false;
   int seeds = 1;
   int threads = 0;  // 0 = DefaultExperimentThreads()
+  struct FailAt {
+    int device;
+    double seconds;
+  };
+  struct FailSlow {
+    int device;
+    double mult;
+  };
+  std::vector<FailAt> fail_device;
+  std::vector<FailSlow> fail_slow;
+  bool rebuild = false;
 };
 
 void PrintUsage() {
@@ -65,7 +84,8 @@ void PrintUsage() {
       "options   : --requests=N --iodepth=N --size-kb=N --seconds=S\n"
       "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
       "            --deviation=P --expose-channels --verify\n"
-      "            --seeds=N --threads=T\n");
+      "            --seeds=N --threads=T\n"
+      "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -134,6 +154,18 @@ struct RunResult {
   DriverReport report;
   WaBreakdown wa;
   std::map<std::string, SimTime> cpu;
+
+  // Fault-plane outcome (only meaningful when fault flags were given).
+  bool have_faults = false;
+  FaultStats fault_stats;
+  uint64_t degraded_writes = 0;
+  uint64_t degraded_reads = 0;
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  bool rebuild_ran = false;
+  uint64_t rebuild_blocks = 0;
+  uint64_t rebuild_passes = 0;
+  double rebuild_seconds = 0.0;
 };
 
 RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
@@ -147,6 +179,15 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   config.seed += seed_offset;
   config.zns.seed += seed_offset;
   config.MatchConvCapacity();
+
+  config.faults.seed = config.seed;
+  for (const Options::FailAt& f : opt.fail_device) {
+    config.faults.Device(f.device).die_at =
+        static_cast<SimTime>(f.seconds * 1e9);
+  }
+  for (const Options::FailSlow& f : opt.fail_slow) {
+    config.faults.Device(f.device).latency_mult = f.mult;
+  }
 
   auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
   BlockTarget* target = platform->block();
@@ -163,11 +204,68 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   RunResult result;
   result.report =
       driver.Run(opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
+
+  if (opt.rebuild && !opt.fail_device.empty()) {
+    const int dead = opt.fail_device[0].device;
+    if (platform->biza() != nullptr) {
+      ZnsDevice* spare = platform->AddSpareZnsDevice(&sim);
+      const SimTime start = sim.Now();
+      // The array may not have witnessed the death yet (e.g. the workload
+      // drained before die_at, or no I/O touched the device since): fail it
+      // explicitly so the swap is always legal.
+      platform->biza()->SetDeviceFailed(dead, true);
+      const Status s = platform->biza()->ReplaceDevice(dead, spare);
+      if (!s.ok()) {
+        std::fprintf(stderr, "ReplaceDevice: %s\n", s.ToString().c_str());
+      } else {
+        sim.RunUntilIdle();  // rebuild self-schedules until FinishRebuild
+        result.rebuild_ran = !platform->biza()->rebuild().active;
+        result.rebuild_blocks = platform->biza()->rebuild().chunks_migrated;
+        result.rebuild_passes = platform->biza()->rebuild().passes;
+        result.rebuild_seconds =
+            static_cast<double>(sim.Now() - start) / 1e9;
+      }
+    } else if (platform->mdraid() != nullptr &&
+               KindFromName(opt.platform) == PlatformKind::kMdraidConv) {
+      BlockTarget* spare = platform->AddSpareConvTarget(&sim);
+      const SimTime start = sim.Now();
+      platform->mdraid()->SetChildFailed(dead, true);
+      const Status s = platform->mdraid()->RebuildChild(dead, spare);
+      if (!s.ok()) {
+        std::fprintf(stderr, "RebuildChild: %s\n", s.ToString().c_str());
+      } else {
+        sim.RunUntilIdle();
+        result.rebuild_ran = !platform->mdraid()->rebuild_active();
+        result.rebuild_blocks = platform->mdraid()->stats().rebuilt_blocks;
+        result.rebuild_seconds =
+            static_cast<double>(sim.Now() - start) / 1e9;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "--rebuild supports BIZA and mdraid+ConvSSD platforms\n");
+    }
+  }
+
   platform->Quiesce(&sim);
   result.platform_name = platform->name();
   result.capacity_blocks = target->capacity_blocks();
   result.wa = platform->CollectWa(result.report.bytes_written / kBlockSize);
   result.cpu = platform->CpuBreakdown();
+
+  result.have_faults = !opt.fail_device.empty() || !opt.fail_slow.empty();
+  result.fault_stats = platform->faults()->stats();
+  if (platform->biza() != nullptr) {
+    const BizaStats& bs = platform->biza()->stats();
+    result.degraded_writes = bs.degraded_writes;
+    result.degraded_reads = bs.degraded_reads;
+    result.read_retries = bs.read_retries;
+    result.write_retries = bs.write_retries;
+  } else if (platform->mdraid() != nullptr) {
+    const MdraidStats& ms = platform->mdraid()->stats();
+    result.degraded_writes = ms.degraded_writes;
+    result.read_retries = ms.read_retries;
+    result.write_retries = ms.write_retries;
+  }
   return result;
 }
 
@@ -201,6 +299,39 @@ void PrintResult(const Options& opt, const RunResult& result) {
                     static_cast<double>(report.elapsed_ns) * 100.0);
   }
   std::printf("\n");
+  if (result.have_faults) {
+    std::printf("  fault: rejected=%llu inj_rd=%llu inj_wr=%llu "
+                "degraded_wr=%llu degraded_rd=%llu retries_rd=%llu "
+                "retries_wr=%llu\n",
+                static_cast<unsigned long long>(
+                    result.fault_stats.unavailable_rejections),
+                static_cast<unsigned long long>(
+                    result.fault_stats.injected_read_errors),
+                static_cast<unsigned long long>(
+                    result.fault_stats.injected_write_errors),
+                static_cast<unsigned long long>(result.degraded_writes),
+                static_cast<unsigned long long>(result.degraded_reads),
+                static_cast<unsigned long long>(result.read_retries),
+                static_cast<unsigned long long>(result.write_retries));
+  }
+  if (result.rebuild_ran) {
+    std::printf("  rebuild: %llu blocks in %.3f s virtual (%llu passes)\n",
+                static_cast<unsigned long long>(result.rebuild_blocks),
+                result.rebuild_seconds,
+                static_cast<unsigned long long>(result.rebuild_passes));
+  }
+}
+
+// Parses "D@T" / "D:X" pairs for the fault flags; returns false on malformed
+// input.
+bool ParsePair(const std::string& value, char sep, int* device, double* num) {
+  const size_t pos = value.find(sep);
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= value.size()) {
+    return false;
+  }
+  *device = atoi(value.substr(0, pos).c_str());
+  *num = atof(value.substr(pos + 1).c_str());
+  return *device >= 0;
 }
 
 }  // namespace
@@ -242,6 +373,24 @@ int main(int argc, char** argv) {
       opt.seeds = std::max(1, atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--threads", &value)) {
       opt.threads = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--fail-device", &value)) {
+      int device = 0;
+      double seconds = 0.0;
+      if (!ParsePair(value, '@', &device, &seconds)) {
+        std::fprintf(stderr, "--fail-device expects D@T (seconds)\n");
+        return 2;
+      }
+      opt.fail_device.push_back({device, seconds});
+    } else if (ParseFlag(argv[i], "--fail-slow", &value)) {
+      int device = 0;
+      double mult = 1.0;
+      if (!ParsePair(value, ':', &device, &mult) || mult < 1.0) {
+        std::fprintf(stderr, "--fail-slow expects D:X with X >= 1.0\n");
+        return 2;
+      }
+      opt.fail_slow.push_back({device, mult});
+    } else if (strcmp(argv[i], "--rebuild") == 0) {
+      opt.rebuild = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n\n", argv[i]);
       PrintUsage();
