@@ -21,24 +21,27 @@ struct Cell {
   bool supported = true;
 };
 
-Cell RunCase(PlatformKind kind, bool sequential, uint64_t req_blocks) {
+Cell RunCase(PlatformKind kind, bool sequential, uint64_t req_blocks,
+             uint64_t seed) {
+  if (kind == PlatformKind::kRaizn && !sequential) {
+    return Cell{0, 0, false};  // ZNS interface: no random writes
+  }
   Simulator sim;
-  PlatformConfig config = ThroughputConfig();
+  PlatformConfig config = ThroughputConfig(1 + seed);
   auto platform = Platform::Create(&sim, kind, config);
   constexpr SimTime kWindow = kSecond / 2;
   constexpr uint64_t kMaxRequests = 200000;
 
   DriverReport report;
   if (kind == PlatformKind::kRaizn) {
-    if (!sequential) {
-      return Cell{0, 0, false};  // ZNS interface: no random writes
-    }
     ZonedSeqDriver driver(&sim, platform->zoned(), req_blocks,
                           /*parallel_zones=*/6);
     report = driver.Run(kMaxRequests, kWindow);
   } else {
-    report = RunBlockMicro(&sim, platform.get(), sequential, /*write=*/true,
-                           req_blocks, /*iodepth=*/32, kMaxRequests, kWindow);
+    MicroWorkload workload(sequential, /*write=*/true, req_blocks,
+                           platform->block()->capacity_blocks(), 7 + seed);
+    Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
+    report = driver.Run(kMaxRequests, kWindow);
   }
   Cell cell;
   cell.mbps = report.WriteMBps();
@@ -64,21 +67,30 @@ void Run() {
       {"sequential", true}, {"random", false}};
   const std::vector<uint64_t> sizes = {1, 16, 48};  // 4K / 64K / 192K
 
-  // All (pattern, platform, size) cells are independent experiments: submit
-  // them to the parallel runner, then print from the collected results in
-  // the same nested order they were enqueued.
+  // All (pattern, platform, size, seed) cells are independent experiments:
+  // submit them to the parallel runner, then print from the collected
+  // results in the same nested order they were enqueued, folding the nseeds
+  // consecutive results per cell into mean ± stddev.
+  const int nseeds = BenchSeeds();
   std::vector<std::function<Cell()>> jobs;
   for (const auto& [pattern_name, sequential] : patterns) {
     (void)pattern_name;
     for (PlatformKind kind : kinds) {
       for (uint64_t blocks : sizes) {
-        const bool seq = sequential;
-        jobs.push_back([kind, seq, blocks]() { return RunCase(kind, seq, blocks); });
+        for (int s = 0; s < nseeds; ++s) {
+          const bool seq = sequential;
+          jobs.push_back([kind, seq, blocks, s]() {
+            return RunCase(kind, seq, blocks, static_cast<uint64_t>(s));
+          });
+        }
       }
     }
   }
   const std::vector<Cell> results = RunExperiments(std::move(jobs));
 
+  std::printf("%d seeds per cell, MB/s mean±stddev / avg-latency-us "
+              "(BIZA_BENCH_SEEDS overrides)\n\n",
+              nseeds);
   double biza_sum = 0, dzrz_sum = 0, mddz_sum = 0, mdcv_sum = 0;
   double biza_peak = 0;
   int cells = 0;
@@ -86,34 +98,43 @@ void Run() {
   for (const auto& [pattern_name, sequential] : patterns) {
     (void)sequential;
     std::printf("--- %s writes ---\n", pattern_name);
-    std::printf("%-16s %14s %14s %14s\n", "platform", "4K", "64K", "192K");
+    std::printf("%-16s %16s %16s %16s\n", "platform", "4K", "64K", "192K");
     for (PlatformKind kind : kinds) {
       std::printf("%-16s", PlatformKindName(kind));
       for (uint64_t blocks : sizes) {
         (void)blocks;
-        const Cell cell = results[job_index++];
-        if (!cell.supported) {
-          std::printf(" %13s", "--");
+        std::vector<double> mbps, lat;
+        bool supported = true;
+        for (int s = 0; s < nseeds; ++s) {
+          const Cell cell = results[job_index++];
+          supported = supported && cell.supported;
+          mbps.push_back(cell.mbps);
+          lat.push_back(cell.avg_us);
+        }
+        if (!supported) {
+          std::printf(" %15s", "--");
           continue;
         }
-        std::printf(" %6.0f/%5.0fus", cell.mbps, cell.avg_us);
+        const SeedStat m = MeanStddev(mbps);
+        const SeedStat l = MeanStddev(lat);
+        std::printf(" %6.0f±%-3.0f/%4.0fus", m.mean, m.stddev, l.mean);
         if (kind == PlatformKind::kBiza) {
-          biza_sum += cell.mbps;
-          biza_peak = std::max(biza_peak, cell.mbps);
+          biza_sum += m.mean;
+          biza_peak = std::max(biza_peak, m.mean);
           cells++;
         } else if (kind == PlatformKind::kDmzapRaizn) {
-          dzrz_sum += cell.mbps;
+          dzrz_sum += m.mean;
         } else if (kind == PlatformKind::kMdraidDmzap) {
-          mddz_sum += cell.mbps;
+          mddz_sum += m.mean;
         } else if (kind == PlatformKind::kMdraidConv) {
-          mdcv_sum += cell.mbps;
+          mdcv_sum += m.mean;
         }
       }
       std::printf("\n");
     }
     std::printf("\n");
   }
-  std::printf("(cells are MB/s / avg-latency-us)\n");
+  std::printf("(cells are MB/s mean±stddev / avg-latency-us)\n");
   std::printf("BIZA vs dmzap+RAIZN:   %.2fx higher avg bandwidth (paper: 2.7x)\n",
               biza_sum / dzrz_sum - 1.0 + 1.0);
   std::printf("BIZA vs mdraid+dmzap:  %.2fx (paper: 2.5x over)\n",

@@ -12,16 +12,16 @@
 namespace biza {
 namespace {
 
-double RunCase(PlatformKind kind, uint64_t req_blocks) {
+double RunCase(PlatformKind kind, uint64_t req_blocks, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = ThroughputConfig();
+  PlatformConfig config = ThroughputConfig(1 + seed);
   auto platform = Platform::Create(&sim, kind, config);
   // Prefill a working set so reads hit mapped blocks.
   const uint64_t footprint = 512 * 1024;  // 2 GiB
   Driver::Fill(&sim, platform->block(), footprint, 64);
 
   MicroWorkload workload(/*sequential=*/false, /*write=*/false, req_blocks,
-                         footprint, 7);
+                         footprint, 7 + seed);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(200000, kSecond / 2);
   RecordSimEvents(sim);
@@ -42,21 +42,33 @@ void Run() {
       PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv};
   const std::vector<uint64_t> sizes = {1, 16, 48};
 
+  const int nseeds = BenchSeeds();
   std::vector<std::function<double()>> jobs;
   for (PlatformKind kind : kinds) {
     for (uint64_t blocks : sizes) {
-      jobs.push_back([kind, blocks]() { return RunCase(kind, blocks); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([kind, blocks, s]() {
+          return RunCase(kind, blocks, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<double> results = RunExperiments(std::move(jobs));
 
-  std::printf("%-16s %10s %10s %10s  (MB/s)\n", "platform", "4K", "64K",
+  std::printf("%d seeds per cell, mean±stddev (BIZA_BENCH_SEEDS overrides)\n",
+              nseeds);
+  std::printf("%-16s %12s %12s %12s  (MB/s)\n", "platform", "4K", "64K",
               "192K");
   size_t job_index = 0;
   for (PlatformKind kind : kinds) {
     std::printf("%-16s", PlatformKindName(kind));
     for (size_t i = 0; i < sizes.size(); ++i) {
-      std::printf(" %10.0f", results[job_index++]);
+      std::vector<double> xs(results.begin() + static_cast<long>(job_index),
+                             results.begin() +
+                                 static_cast<long>(job_index + nseeds));
+      job_index += static_cast<size_t>(nseeds);
+      const SeedStat stat = MeanStddev(xs);
+      std::printf(" %8.0f±%-3.0f", stat.mean, stat.stddev);
     }
     std::printf("\n");
   }

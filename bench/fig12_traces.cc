@@ -13,13 +13,14 @@
 namespace biza {
 namespace {
 
-double RunTrace(PlatformKind kind, const TraceProfile& profile) {
+double RunTrace(PlatformKind kind, TraceProfile profile, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = ThroughputConfig(profile.seed + 17);
+  PlatformConfig config = ThroughputConfig(profile.seed + 17 + seed);
   auto platform = Platform::Create(&sim, kind, config);
   // Prefill the trace's working set so reads are mapped.
   Driver::Fill(&sim, platform->block(), profile.footprint_blocks, 64);
 
+  profile.seed += seed;
   SyntheticTrace trace(profile);
   Driver driver(&sim, platform->block(), &trace, /*iodepth=*/32);
   const DriverReport report = driver.Run(60000, kSecond / 2);
@@ -44,27 +45,38 @@ void Run() {
   std::printf("  (MB/s)\n");
 
   const std::vector<TraceProfile> profiles = TraceProfile::AllTable6();
+  const int nseeds = BenchSeeds();
   std::vector<std::function<double()>> jobs;
   for (const TraceProfile& profile : profiles) {
     for (PlatformKind kind : kinds) {
-      jobs.push_back([kind, profile]() { return RunTrace(kind, profile); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([kind, profile, s]() {
+          return RunTrace(kind, profile, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<double> results = RunExperiments(std::move(jobs));
 
+  std::printf("%d seeds per cell, mean±stddev (BIZA_BENCH_SEEDS overrides)\n",
+              nseeds);
   double biza_sum = 0, mddz_sum = 0, dzrz_sum = 0;
   size_t job_index = 0;
   for (const TraceProfile& profile : profiles) {
     std::printf("%-10s", profile.name.c_str());
     for (PlatformKind kind : kinds) {
-      const double mbps = results[job_index++];
-      std::printf(" %15.0f", mbps);
+      std::vector<double> xs(results.begin() + static_cast<long>(job_index),
+                             results.begin() +
+                                 static_cast<long>(job_index + nseeds));
+      job_index += static_cast<size_t>(nseeds);
+      const SeedStat stat = MeanStddev(xs);
+      std::printf(" %11.0f±%-3.0f", stat.mean, stat.stddev);
       if (kind == PlatformKind::kBiza) {
-        biza_sum += mbps;
+        biza_sum += stat.mean;
       } else if (kind == PlatformKind::kMdraidDmzap) {
-        mddz_sum += mbps;
+        mddz_sum += stat.mean;
       } else if (kind == PlatformKind::kDmzapRaizn) {
-        dzrz_sum += mbps;
+        dzrz_sum += stat.mean;
       }
     }
     std::printf("\n");

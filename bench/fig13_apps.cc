@@ -18,12 +18,13 @@
 namespace biza {
 namespace {
 
-double RunApp(PlatformKind kind, const AppProfile& profile) {
+double RunApp(PlatformKind kind, AppProfile profile, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = ThroughputConfig(31);
+  PlatformConfig config = ThroughputConfig(31 + seed);
   auto platform = Platform::Create(&sim, kind, config);
   Driver::Fill(&sim, platform->block(), profile.footprint_blocks, 64);
 
+  profile.seed += seed;
   AppWorkload workload(profile);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(40000, kSecond / 2);
@@ -46,26 +47,42 @@ void Run() {
   const std::vector<PlatformKind> kinds = {PlatformKind::kDmzapRaizn,
                                            PlatformKind::kBiza,
                                            PlatformKind::kMdraidDmzap};
+  const int nseeds = BenchSeeds();
   std::vector<std::function<double()>> jobs;
   for (const AppProfile& app : apps) {
     for (PlatformKind kind : kinds) {
-      jobs.push_back([kind, app]() { return RunApp(kind, app); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([kind, app, s]() {
+          return RunApp(kind, app, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<double> results = RunExperiments(std::move(jobs));
 
-  std::printf("%-12s %12s %12s %14s %12s\n", "workload", "RAIZN(shim)",
+  std::printf("%d seeds per cell, mean±stddev (BIZA_BENCH_SEEDS overrides)\n",
+              nseeds);
+  std::printf("%-12s %15s %15s %17s %12s\n", "workload", "RAIZN(shim)",
               "BIZA", "mdraid+dmzap", "BIZA/RAIZN");
   double gain_sum = 0;
   size_t job_index = 0;
   for (const AppProfile& app : apps) {
-    const double raizn = results[job_index++];
-    const double biza = results[job_index++];
-    const double mddz = results[job_index++];
+    SeedStat stat[3];
+    for (auto& s : stat) {
+      std::vector<double> xs(results.begin() + static_cast<long>(job_index),
+                             results.begin() +
+                                 static_cast<long>(job_index + nseeds));
+      job_index += static_cast<size_t>(nseeds);
+      s = MeanStddev(xs);
+    }
+    const double raizn = stat[0].mean;
+    const double biza = stat[1].mean;
     const double norm = raizn > 0 ? biza / raizn : 0;
     gain_sum += norm;
-    std::printf("%-12s %9.0f MB/s %7.0f MB/s %9.0f MB/s %11.2fx\n",
-                app.name.c_str(), raizn, biza, mddz, norm);
+    std::printf("%-12s %8.0f±%-3.0f MB/s %8.0f±%-3.0f MB/s %8.0f±%-3.0f MB/s "
+                "%8.2fx\n",
+                app.name.c_str(), stat[0].mean, stat[0].stddev, stat[1].mean,
+                stat[1].stddev, stat[2].mean, stat[2].stddev, norm);
   }
   std::printf("\nBIZA vs RAIZN(shim) avg: %.2fx\n",
               gain_sum / static_cast<double>(apps.size()));

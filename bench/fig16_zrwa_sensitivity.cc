@@ -21,13 +21,15 @@ struct Cell {
   double parity = 0;
 };
 
-Cell RunSize(const TraceProfile& profile, uint32_t zrwa_blocks) {
+Cell RunSize(const TraceProfile& profile, uint32_t zrwa_blocks,
+             uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = BenchConfig(profile.seed + 9);
+  PlatformConfig config = BenchConfig(profile.seed + 9 + seed);
   config.zns.zrwa_blocks = zrwa_blocks;
   auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
 
   TraceProfile writes_only = profile;
+  writes_only.seed += seed;
   writes_only.write_ratio = 1.0;
   writes_only.avg_write_blocks = 1;  // casa/online are pure 4 KiB writers
   writes_only.footprint_blocks = std::min<uint64_t>(
@@ -52,23 +54,38 @@ void Run() {
   const std::vector<TraceProfile> profiles = {TraceProfile::Casa(),
                                               TraceProfile::Online()};
   const std::vector<uint32_t> zrwa_sizes = {1u, 4u, 16u, 64u, 128u, 256u};
+  const int nseeds = BenchSeeds();
   std::vector<std::function<Cell()>> jobs;
   for (const TraceProfile& profile : profiles) {
     for (uint32_t blocks : zrwa_sizes) {
-      jobs.push_back([profile, blocks]() { return RunSize(profile, blocks); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([profile, blocks, s]() {
+          return RunSize(profile, blocks, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<Cell> results = RunExperiments(std::move(jobs));
 
+  std::printf("%d seeds per row, mean±stddev (BIZA_BENCH_SEEDS overrides)\n\n",
+              nseeds);
   size_t job_index = 0;
   for (const TraceProfile& profile : profiles) {
     std::printf("--- %s ---\n", profile.name.c_str());
-    std::printf("%10s %10s %10s %10s\n", "ZRWA", "data", "parity", "total");
-    std::printf("%10s %10.3f %10.3f %10.3f   (no cache)\n", "0", 1.0, 1.0, 2.0);
+    std::printf("%10s %14s %14s %10s\n", "ZRWA", "data", "parity", "total");
+    std::printf("%10s %10.3f %14.3f %14.3f   (no cache)\n", "0", 1.0, 1.0,
+                2.0);
     for (uint32_t blocks : zrwa_sizes) {
-      const Cell cell = results[job_index++];
-      std::printf("%8uKB %10.3f %10.3f %10.3f\n", blocks * 4, cell.data,
-                  cell.parity, cell.data + cell.parity);
+      std::vector<double> data, parity;
+      for (int s = 0; s < nseeds; ++s) {
+        const Cell cell = results[job_index++];
+        data.push_back(cell.data);
+        parity.push_back(cell.parity);
+      }
+      const SeedStat d = MeanStddev(data);
+      const SeedStat p = MeanStddev(parity);
+      std::printf("%8uKB %10.3f±%-.3f %8.3f±%-.3f %10.3f\n", blocks * 4,
+                  d.mean, d.stddev, p.mean, p.stddev, d.mean + p.mean);
     }
     std::printf("\n");
   }

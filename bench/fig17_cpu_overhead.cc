@@ -20,14 +20,15 @@ struct CpuCase {
   std::map<std::string, double> component_pct;
 };
 
-CpuCase RunCase(PlatformKind kind, uint64_t req_blocks) {
+CpuCase RunCase(PlatformKind kind, uint64_t req_blocks, uint64_t seed) {
   Simulator sim;
-  PlatformConfig config = ThroughputConfig(23);
+  PlatformConfig config = ThroughputConfig(23 + seed);
   auto platform = Platform::Create(&sim, kind, config);
   const SimTime start = sim.Now();
-  const DriverReport report =
-      RunBlockMicro(&sim, platform.get(), /*sequential=*/true, /*write=*/true,
-                    req_blocks, /*iodepth=*/32, 200000, kSecond / 2);
+  MicroWorkload workload(/*sequential=*/true, /*write=*/true, req_blocks,
+                         platform->block()->capacity_blocks(), 7 + seed);
+  Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
+  const DriverReport report = driver.Run(200000, kSecond / 2);
   const SimTime elapsed = sim.Now() - start;
 
   const auto cpu = platform->CpuBreakdown();
@@ -45,12 +46,27 @@ CpuCase RunCase(PlatformKind kind, uint64_t req_blocks) {
   return result;
 }
 
-void PrintCase(PlatformKind kind, uint64_t req_blocks, const CpuCase& c) {
-  const double gbps = c.mbps / 1000.0;
-  std::printf("%-16s %7lluK %9.0f %10.1f%% %12.1f", PlatformKindName(kind),
-              static_cast<unsigned long long>(req_blocks * 4), c.mbps,
-              c.usage_pct, gbps > 0 ? c.usage_pct / gbps : 0.0);
-  for (const auto& [component, pct] : c.component_pct) {
+// Folds nseeds per-seed cases into one row: mbps and usage as mean±stddev,
+// the per-component shares as plain means.
+void PrintCase(PlatformKind kind, uint64_t req_blocks,
+               const std::vector<CpuCase>& cases) {
+  std::vector<double> mbps, usage;
+  std::map<std::string, double> component_pct;
+  for (const CpuCase& c : cases) {
+    mbps.push_back(c.mbps);
+    usage.push_back(c.usage_pct);
+    for (const auto& [component, pct] : c.component_pct) {
+      component_pct[component] += pct / static_cast<double>(cases.size());
+    }
+  }
+  const SeedStat m = MeanStddev(mbps);
+  const SeedStat u = MeanStddev(usage);
+  const double gbps = m.mean / 1000.0;
+  std::printf("%-16s %7lluK %6.0f±%-3.0f %7.1f±%-4.1f%% %9.1f",
+              PlatformKindName(kind),
+              static_cast<unsigned long long>(req_blocks * 4), m.mean,
+              m.stddev, u.mean, u.stddev, gbps > 0 ? u.mean / gbps : 0.0);
+  for (const auto& [component, pct] : component_pct) {
     std::printf("  %s=%.0f%%", component.c_str(), pct);
   }
   std::printf("\n");
@@ -67,20 +83,31 @@ void Run() {
   const std::vector<PlatformKind> kinds = {
       PlatformKind::kBiza, PlatformKind::kDmzapRaizn,
       PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv};
+  const int nseeds = BenchSeeds();
   std::vector<std::function<CpuCase()>> jobs;
   for (uint64_t blocks : sizes) {
     for (PlatformKind kind : kinds) {
-      jobs.push_back([kind, blocks]() { return RunCase(kind, blocks); });
+      for (int s = 0; s < nseeds; ++s) {
+        jobs.push_back([kind, blocks, s]() {
+          return RunCase(kind, blocks, static_cast<uint64_t>(s));
+        });
+      }
     }
   }
   const std::vector<CpuCase> results = RunExperiments(std::move(jobs));
 
-  std::printf("%-16s %8s %9s %11s %12s  per-component usage\n", "platform",
+  std::printf("%d seeds per row, mean±stddev (BIZA_BENCH_SEEDS overrides)\n",
+              nseeds);
+  std::printf("%-16s %8s %10s %13s %9s  per-component usage\n", "platform",
               "size", "MB/s", "CPU usage", "CPU/GBps");
   size_t job_index = 0;
   for (uint64_t blocks : sizes) {
     for (PlatformKind kind : kinds) {
-      PrintCase(kind, blocks, results[job_index++]);
+      std::vector<CpuCase> cases(
+          results.begin() + static_cast<long>(job_index),
+          results.begin() + static_cast<long>(job_index + nseeds));
+      job_index += static_cast<size_t>(nseeds);
+      PrintCase(kind, blocks, cases);
     }
     std::printf("\n");
   }

@@ -78,6 +78,124 @@ BizaArray::BizaArray(Simulator* sim, std::vector<ZnsDevice*> devices,
   }
 }
 
+void BizaArray::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    h_write_ = nullptr;
+    h_read_ = nullptr;
+    for (auto& dev_zones : zones_) {
+      for (DevZone& z : dev_zones) {
+        if (z.sched != nullptr) {
+          z.sched->SetTracer(nullptr);
+        }
+      }
+    }
+    return;
+  }
+  StatRegistry& reg = obs_->registry;
+  reg.RegisterCounter("biza.user_written_blocks",
+                      [this] { return stats_.user_written_blocks; });
+  reg.RegisterCounter("biza.user_read_blocks",
+                      [this] { return stats_.user_read_blocks; });
+  reg.RegisterCounter("biza.inplace_updates",
+                      [this] { return stats_.inplace_updates; });
+  reg.RegisterCounter("biza.appended_chunks",
+                      [this] { return stats_.appended_chunks; });
+  reg.RegisterCounter("biza.parity_writes",
+                      [this] { return stats_.parity_writes; });
+  reg.RegisterCounter("biza.parity_inplace_updates",
+                      [this] { return stats_.parity_inplace_updates; });
+  reg.RegisterCounter("biza.gc_runs", [this] { return stats_.gc_runs; });
+  reg.RegisterCounter("biza.gc_migrated_data",
+                      [this] { return stats_.gc_migrated_data; });
+  reg.RegisterCounter("biza.gc_migrated_parity",
+                      [this] { return stats_.gc_migrated_parity; });
+  reg.RegisterCounter("biza.gc_zone_resets",
+                      [this] { return stats_.gc_zone_resets; });
+  reg.RegisterCounter("biza.degraded_reads",
+                      [this] { return stats_.degraded_reads; });
+  reg.RegisterCounter("biza.degraded_writes",
+                      [this] { return stats_.degraded_writes; });
+  reg.RegisterCounter("biza.write_retries",
+                      [this] { return stats_.write_retries; });
+  reg.RegisterCounter("biza.read_retries",
+                      [this] { return stats_.read_retries; });
+  reg.RegisterCounter("biza.write_stalls",
+                      [this] { return stats_.write_stalls; });
+  reg.RegisterCounter("biza.busy_skips", [this] { return stats_.busy_skips; });
+  // Channel detector, aggregated over the member devices.
+  auto detector_sum = [this](uint64_t ChannelDetectorStats::*field) {
+    uint64_t sum = 0;
+    for (const auto& d : detectors_) {
+      sum += d->stats().*field;
+    }
+    return sum;
+  };
+  reg.RegisterCounter("biza.detector.spikes_observed", [detector_sum] {
+    return detector_sum(&ChannelDetectorStats::spikes_observed);
+  });
+  reg.RegisterCounter("biza.detector.votes_cast", [detector_sum] {
+    return detector_sum(&ChannelDetectorStats::votes_cast);
+  });
+  reg.RegisterCounter("biza.detector.corrections", [detector_sum] {
+    return detector_sum(&ChannelDetectorStats::corrections);
+  });
+  reg.RegisterCounter("biza.detector.confirmed_shortcuts", [detector_sum] {
+    return detector_sum(&ChannelDetectorStats::confirmed_shortcuts);
+  });
+  // Rebuild plane.
+  reg.RegisterCounter("biza.rebuild.chunks_migrated",
+                      [this] { return rebuild_.chunks_migrated; });
+  reg.RegisterCounter("biza.rebuild.passes",
+                      [this] { return rebuild_.passes; });
+  reg.RegisterGauge("biza.rebuild.active",
+                    [this] { return rebuild_.active ? uint64_t{1} : 0; });
+  // Scheduler plane: queue depth / in-flight across every active zone.
+  reg.RegisterGauge("biza.gc_active",
+                    [this] { return gc_active_ ? uint64_t{1} : 0; });
+  reg.RegisterGauge("biza.queued_writes", [this] {
+    uint64_t depth = 0;
+    for (const auto& dev_zones : zones_) {
+      for (const DevZone& z : dev_zones) {
+        if (z.sched != nullptr) {
+          depth += z.sched->queue_depth();
+        }
+      }
+    }
+    return depth;
+  });
+  reg.RegisterGauge("biza.inflight_writes", [this] {
+    uint64_t inflight = 0;
+    for (const auto& dev_zones : zones_) {
+      for (const DevZone& z : dev_zones) {
+        if (z.sched != nullptr) {
+          inflight += z.sched->inflight();
+        }
+      }
+    }
+    return inflight;
+  });
+  reg.RegisterGauge("biza.stalled_writes",
+                    [this] { return stalled_writes_.size(); });
+  h_write_ = reg.Histogram("biza.write_latency_ns");
+  h_read_ = reg.Histogram("biza.read_latency_ns");
+  span_write_ = obs_->tracer.Intern("biza.write");
+  span_read_ = obs_->tracer.Intern("biza.read");
+  span_gc_step_ = obs_->tracer.Intern("biza.gc_step");
+  span_rebuild_step_ = obs_->tracer.Intern("biza.rebuild_step");
+  key_lbn_ = obs_->tracer.Intern("lbn");
+  key_blocks_ = obs_->tracer.Intern("blocks");
+  key_device_ = obs_->tracer.Intern("device");
+  key_zone_ = obs_->tracer.Intern("zone");
+  for (auto& dev_zones : zones_) {
+    for (DevZone& z : dev_zones) {
+      if (z.sched != nullptr) {
+        z.sched->SetTracer(&obs_->tracer);
+      }
+    }
+  }
+}
+
 void BizaArray::InitGroups() {
   // Open the initial zone groups on every device.
   for (int d = 0; d < n_; ++d) {
@@ -158,6 +276,9 @@ bool BizaArray::ReplenishGroup(int device, GroupKind kind, bool emergency) {
     z.sched = std::make_unique<ZoneScheduler>(
         devices_[static_cast<size_t>(device)], zone, config_.max_io_retries,
         config_.retry_backoff_base_ns, &stats_.write_retries);
+    if (obs_ != nullptr) {
+      z.sched->SetTracer(&obs_->tracer);
+    }
     detectors_[static_cast<size_t>(device)]->OnZoneOpened(zone);
     // Future-ZNS (§6): if the device exposes the mapping in the OPEN
     // completion, confirm it outright — no guessing, no voting.
@@ -407,6 +528,20 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
 
   auto join = std::make_shared<WriteJoin>();
   join->cb = std::move(cb);
+  if (obs_ != nullptr) {
+    const SimTime start = sim_->Now();
+    join->cb = [this, start, lbn, nblocks,
+                cb = std::move(join->cb)](const Status& status) {
+      const SimTime end = sim_->Now();
+      h_write_->Record(end - start);
+      if (obs_->tracer.Armed(start)) {
+        obs_->tracer.Record(Tracer::kLaneEngine, span_write_, start, end,
+                            key_lbn_, static_cast<int64_t>(lbn), key_blocks_,
+                            static_cast<int64_t>(nblocks));
+      }
+      cb(status);
+    };
+  }
   auto release = [join]() { join->Release(); };
 
   bool builder_touched[kNumBuilders] = {};
@@ -905,6 +1040,20 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   auto state = std::make_shared<ReadState>();
   state->out.assign(nblocks, 0);
   state->cb = std::move(cb);
+  if (obs_ != nullptr) {
+    const SimTime start = sim_->Now();
+    state->cb = [this, start, lbn, nblocks, cb = std::move(state->cb)](
+                    const Status& status, std::vector<uint64_t> out) {
+      const SimTime end = sim_->Now();
+      h_read_->Record(end - start);
+      if (obs_->tracer.Armed(start)) {
+        obs_->tracer.Record(Tracer::kLaneEngine, span_read_, start, end,
+                            key_lbn_, static_cast<int64_t>(lbn), key_blocks_,
+                            static_cast<int64_t>(nblocks));
+      }
+      cb(status, std::move(out));
+    };
+  }
   auto release = [state]() {
     if (--state->pending == 0) {
       state->cb(state->error, std::move(state->out));
@@ -1282,9 +1431,15 @@ void BizaArray::RebuildStep() {
   // migration of this batch completed, bounding rebuild interference.
   struct BatchJoin {
     BizaArray* array;
-    explicit BatchJoin(BizaArray* a) : array(a) {}
+    SimTime start;
+    explicit BatchJoin(BizaArray* a) : array(a), start(a->sim_->Now()) {}
     ~BatchJoin() {
       BizaArray* a = array;
+      if (a->obs_ != nullptr && a->obs_->tracer.Armed(start)) {
+        a->obs_->tracer.Record(Tracer::kLaneEngine, a->span_rebuild_step_,
+                               start, a->sim_->Now(), a->key_device_,
+                               a->rebuild_.device);
+      }
       a->sim_->Schedule(a->config_.rebuild_interval_ns,
                         [a]() { a->RebuildStep(); });
     }
@@ -1649,8 +1804,14 @@ void BizaArray::GcStep() {
   gc_batch->items = batch;
   gc_batch->patterns.assign(batch.size(), 0);
   gc_batch->ok.assign(batch.size(), 0);
+  const SimTime step_start = sim_->Now();
 
-  auto rewrite = [this, gc_batch]() {
+  auto rewrite = [this, gc_batch, step_start]() {
+    if (obs_ != nullptr && obs_->tracer.Armed(step_start)) {
+      obs_->tracer.Record(Tracer::kLaneEngine, span_gc_step_, step_start,
+                          sim_->Now(), key_device_, gc_device_, key_zone_,
+                          gc_victim_zone_);
+    }
     struct MigrateJoin {
       BizaArray* array;
       explicit MigrateJoin(BizaArray* a) : array(a) {}

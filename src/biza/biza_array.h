@@ -41,6 +41,7 @@
 #include "src/biza/zone_scheduler.h"
 #include "src/engines/target.h"
 #include "src/metrics/cpu_account.h"
+#include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
 #include "src/raid/geometry.h"
 #include "src/raid/reed_solomon.h"
@@ -114,6 +115,12 @@ class BizaArray : public BlockTarget {
   // device's OOB records (§4.1). Requires a quiesced array (no in-flight
   // I/O or GC).
   Status Recover();
+
+  // Registers the engine's counters/gauges ("biza.*", including the channel
+  // detector, GC, and rebuild planes), its write/read latency histograms,
+  // and biza.* spans; forwards the tracer to every zone scheduler (current
+  // and future). Pass nullptr to detach.
+  void AttachObservability(Observability* obs);
 
   const BizaStats& stats() const { return stats_; }
   CpuAccount& cpu() { return cpu_; }
@@ -343,6 +350,18 @@ class BizaArray : public BlockTarget {
 
   BizaStats stats_;
   CpuAccount cpu_;
+
+  Observability* obs_ = nullptr;
+  uint16_t span_write_ = 0;
+  uint16_t span_read_ = 0;
+  uint16_t span_gc_step_ = 0;
+  uint16_t span_rebuild_step_ = 0;
+  uint16_t key_lbn_ = 0;
+  uint16_t key_blocks_ = 0;
+  uint16_t key_device_ = 0;
+  uint16_t key_zone_ = 0;
+  LatencyHistogram* h_write_ = nullptr;
+  LatencyHistogram* h_read_ = nullptr;
 };
 
 }  // namespace biza

@@ -23,6 +23,15 @@ ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone, int max_retries,
   oobs_.assign(capacity_, OobRecord{});
 }
 
+void ZoneScheduler::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    span_write_ = tracer_->Intern("sched.write");
+    key_zone_ = tracer_->Intern("zone");
+    key_offset_ = tracer_->Intern("offset");
+  }
+}
+
 uint64_t ZoneScheduler::Allocate(uint64_t n) {
   assert(alloc_ptr_ + n <= capacity_);
   const uint64_t offset = alloc_ptr_;
@@ -79,6 +88,15 @@ void ZoneScheduler::SubmitWrite(uint64_t offset,
     // CanUpdateInPlace() and taken the out-of-place path.
     cb(WriteFailureError("in-place update behind the sliding window"));
     return;
+  }
+  if (tracer_ != nullptr && tracer_->Armed(device_->sim()->Now())) {
+    const SimTime submit = device_->sim()->Now();
+    cb = [this, submit, offset, cb = std::move(cb)](const Status& status) {
+      tracer_->Record(Tracer::kLaneScheduler, span_write_, submit,
+                      device_->sim()->Now(), key_zone_, zone_, key_offset_,
+                      static_cast<int64_t>(offset));
+      cb(status);
+    };
   }
   for (uint64_t i = 0; i < patterns.size(); ++i) {
     patterns_[offset + i] = patterns[i];

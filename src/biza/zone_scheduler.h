@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/metrics/tracer.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_device.h"
 
@@ -81,6 +82,11 @@ class ZoneScheduler {
     return inflight_ == 0 && queue_.empty() && unsubmitted_ == 0;
   }
   uint64_t inflight() const { return inflight_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  // Records one sched.write span per submitted job, covering queue wait +
+  // device write (+ retries). Pass nullptr to detach.
+  void SetTracer(Tracer* tracer);
 
   // After the zone is fully allocated and idle, commits the remaining ZRWA
   // contents so the device transitions the zone to FULL.
@@ -108,6 +114,10 @@ class ZoneScheduler {
 
   ZnsDevice* device_;
   uint32_t zone_;
+  Tracer* tracer_ = nullptr;
+  uint16_t span_write_ = 0;
+  uint16_t key_zone_ = 0;
+  uint16_t key_offset_ = 0;
   uint64_t capacity_;
   uint32_t zrwa_blocks_;
   int max_retries_ = 0;

@@ -78,6 +78,27 @@ SimTime ConvSsd::DispatchDelay() {
   return delay;
 }
 
+void ConvSsd::AttachObservability(Observability* obs, int device_id) {
+  if (obs == nullptr) {
+    backend_->SetTracer(nullptr, device_id);
+    return;
+  }
+  const std::string prefix = "dev" + std::to_string(device_id) + ".conv.";
+  StatRegistry& reg = obs->registry;
+  reg.RegisterCounter(prefix + "host_written_blocks",
+                      [this] { return stats_.host_written_blocks; });
+  reg.RegisterCounter(prefix + "flash_programmed_blocks",
+                      [this] { return stats_.flash_programmed_blocks; });
+  reg.RegisterCounter(prefix + "gc_migrated_blocks",
+                      [this] { return stats_.gc_migrated_blocks; });
+  reg.RegisterCounter(prefix + "host_read_blocks",
+                      [this] { return stats_.host_read_blocks; });
+  reg.RegisterCounter(prefix + "erases", [this] { return stats_.erases; });
+  reg.RegisterCounter(prefix + "gc_runs", [this] { return stats_.gc_runs; });
+  reg.RegisterGauge(prefix + "free_blocks", [this] { return free_blocks_; });
+  backend_->SetTracer(&obs->tracer, device_id);
+}
+
 void ConvSsd::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                           WriteCallback cb, WriteTag tag) {
   sim_->Schedule(DispatchDelay(),

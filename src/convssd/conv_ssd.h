@@ -25,6 +25,7 @@
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
 #include "src/fault/fault_injector.h"
+#include "src/metrics/observability.h"
 #include "src/nand/nand_backend.h"
 #include "src/sim/simulator.h"
 
@@ -95,6 +96,11 @@ class ConvSsd {
     fault_ = injector;
     fault_device_id_ = device_id;
   }
+
+  // Registers this device's counters ("dev<id>.conv.*") with the registry
+  // and forwards the tracer to the NAND backend for channel/die spans.
+  // Pass nullptr to detach.
+  void AttachObservability(Observability* obs, int device_id);
 
  private:
   static constexpr uint64_t kUnmapped = ~0ULL;

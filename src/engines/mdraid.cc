@@ -30,6 +30,47 @@ Mdraid::Mdraid(Simulator* sim, std::vector<BlockTarget*> children,
   child_failed_.assign(static_cast<size_t>(n_), false);
 }
 
+void Mdraid::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    h_write_ = nullptr;
+    h_read_ = nullptr;
+    return;
+  }
+  StatRegistry& reg = obs_->registry;
+  reg.RegisterCounter("mdraid.user_written_blocks",
+                      [this] { return stats_.user_written_blocks; });
+  reg.RegisterCounter("mdraid.user_read_blocks",
+                      [this] { return stats_.user_read_blocks; });
+  reg.RegisterCounter("mdraid.flushed_data_blocks",
+                      [this] { return stats_.flushed_data_blocks; });
+  reg.RegisterCounter("mdraid.flushed_parity_blocks",
+                      [this] { return stats_.flushed_parity_blocks; });
+  reg.RegisterCounter("mdraid.rmw_read_blocks",
+                      [this] { return stats_.rmw_read_blocks; });
+  reg.RegisterCounter("mdraid.full_stripe_flushes",
+                      [this] { return stats_.full_stripe_flushes; });
+  reg.RegisterCounter("mdraid.partial_stripe_flushes",
+                      [this] { return stats_.partial_stripe_flushes; });
+  reg.RegisterCounter("mdraid.degraded_writes",
+                      [this] { return stats_.degraded_writes; });
+  reg.RegisterCounter("mdraid.read_retries",
+                      [this] { return stats_.read_retries; });
+  reg.RegisterCounter("mdraid.write_retries",
+                      [this] { return stats_.write_retries; });
+  reg.RegisterCounter("mdraid.rebuilt_blocks",
+                      [this] { return stats_.rebuilt_blocks; });
+  reg.RegisterGauge("mdraid.dirty_blocks", [this] { return dirty_blocks_; });
+  reg.RegisterGauge("mdraid.rebuild_active",
+                    [this] { return rebuild_active_ ? 1 : 0; });
+  h_write_ = reg.Histogram("mdraid.write_latency_ns");
+  h_read_ = reg.Histogram("mdraid.read_latency_ns");
+  span_write_ = obs_->tracer.Intern("mdraid.write");
+  span_read_ = obs_->tracer.Intern("mdraid.read");
+  key_lbn_ = obs_->tracer.Intern("lbn");
+  key_blocks_ = obs_->tracer.Intern("blocks");
+}
+
 void Mdraid::SetChildFailed(int child, bool failed) {
   child_failed_[static_cast<size_t>(child)] = failed;
 }
@@ -66,6 +107,19 @@ void Mdraid::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     return;
   }
   stats_.user_written_blocks += n;
+  if (obs_ != nullptr) {
+    const SimTime start = sim_->Now();
+    cb = [this, start, lbn, n, cb = std::move(cb)](const Status& status) {
+      const SimTime end = sim_->Now();
+      h_write_->Record(end - start);
+      if (obs_->tracer.Armed(start)) {
+        obs_->tracer.Record(Tracer::kLaneEngine, span_write_, start, end,
+                            key_lbn_, static_cast<int64_t>(lbn), key_blocks_,
+                            static_cast<int64_t>(n));
+      }
+      cb(status);
+    };
+  }
 
   // mdraid splits requests into 4 KiB pages; each page passes through the
   // array lock and lands in the stripe cache (write-back).
@@ -459,6 +513,20 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   }
   cpu_.Charge("mdraid", config_.costs.request_overhead_ns);
   stats_.user_read_blocks += nblocks;
+  if (obs_ != nullptr) {
+    const SimTime start = sim_->Now();
+    cb = [this, start, lbn, nblocks, cb = std::move(cb)](
+             const Status& status, std::vector<uint64_t> out) {
+      const SimTime end = sim_->Now();
+      h_read_->Record(end - start);
+      if (obs_->tracer.Armed(start)) {
+        obs_->tracer.Record(Tracer::kLaneEngine, span_read_, start, end,
+                            key_lbn_, static_cast<int64_t>(lbn), key_blocks_,
+                            static_cast<int64_t>(nblocks));
+      }
+      cb(status, std::move(out));
+    };
+  }
 
   struct ReadState {
     std::vector<uint64_t> out;

@@ -28,6 +28,7 @@
 
 #include "src/engines/target.h"
 #include "src/metrics/cpu_account.h"
+#include "src/metrics/observability.h"
 #include "src/raid/geometry.h"
 #include "src/sim/simulator.h"
 
@@ -95,6 +96,11 @@ class Mdraid : public BlockTarget {
   const MdraidStats& stats() const { return stats_; }
   CpuAccount& cpu() { return cpu_; }
   uint64_t dirty_blocks() const { return dirty_blocks_; }
+
+  // Registers the array's counters ("mdraid.*") and the dirty-block gauge
+  // with the registry; engine-lane spans wrap user reads/writes. Pass
+  // nullptr to detach.
+  void AttachObservability(Observability* obs);
 
  private:
   struct StripeEntry {
@@ -168,6 +174,14 @@ class Mdraid : public BlockTarget {
 
   MdraidStats stats_;
   CpuAccount cpu_;
+
+  Observability* obs_ = nullptr;
+  uint16_t span_write_ = 0;
+  uint16_t span_read_ = 0;
+  uint16_t key_lbn_ = 0;
+  uint16_t key_blocks_ = 0;
+  LatencyHistogram* h_write_ = nullptr;
+  LatencyHistogram* h_read_ = nullptr;
 };
 
 }  // namespace biza

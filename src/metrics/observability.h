@@ -1,0 +1,26 @@
+// The per-experiment observability bundle: one StatRegistry + one Tracer +
+// one TimeSeriesSampler, owned together and attached to a platform through
+// PlatformConfig::obs (mirroring the FaultInjector attach pattern).
+//
+// Ownership: the caller (afa_bench, a test) owns the Observability and the
+// Simulator with the same lifetime; devices and engines hold raw pointers.
+// A null Observability* everywhere means "disabled" and costs one branch
+// per instrumentation site.
+#ifndef BIZA_SRC_METRICS_OBSERVABILITY_H_
+#define BIZA_SRC_METRICS_OBSERVABILITY_H_
+
+#include "src/metrics/sampler.h"
+#include "src/metrics/stat_registry.h"
+#include "src/metrics/tracer.h"
+
+namespace biza {
+
+struct Observability {
+  StatRegistry registry;
+  Tracer tracer;
+  TimeSeriesSampler sampler{&registry};
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_METRICS_OBSERVABILITY_H_

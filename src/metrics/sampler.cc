@@ -1,0 +1,64 @@
+#include "src/metrics/sampler.h"
+
+#include <cassert>
+
+namespace biza {
+
+void TimeSeriesSampler::Start(Simulator* sim, SimTime interval_ns) {
+  assert(interval_ns > 0);
+  interval_ns_ = interval_ns;
+  Sample(sim);  // baseline row at the start time
+  sim->Schedule(interval_ns_, [this, sim]() { Tick(sim); });
+}
+
+void TimeSeriesSampler::Sample(Simulator* sim) {
+  const std::vector<StatRegistry::Sample> samples = registry_->Collect();
+  if (columns_.empty()) {
+    columns_.reserve(samples.size());
+    for (const auto& s : samples) {
+      columns_.push_back(*s.name);
+      kinds_.push_back(s.kind);
+    }
+    last_.assign(samples.size(), 0);
+  }
+  // Probes registered after the first tick (e.g. a hot spare attached
+  // mid-run) are dropped from the series: the column set is fixed at start.
+  std::vector<uint64_t> row(columns_.size(), 0);
+  for (size_t i = 0; i < columns_.size() && i < samples.size(); ++i) {
+    if (kinds_[i] == StatKind::kCounter) {
+      const uint64_t raw = samples[i].value;
+      row[i] = raw - last_[i];
+      last_[i] = raw;
+    } else {
+      row[i] = samples[i].value;
+    }
+  }
+  times_.push_back(sim->Now());
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeriesSampler::Tick(Simulator* sim) {
+  Sample(sim);
+  // Keep ticking only while the workload still has events in flight;
+  // otherwise the sampler would keep an idle simulation alive forever.
+  if (sim->pending_events() > 0) {
+    sim->Schedule(interval_ns_, [this, sim]() { Tick(sim); });
+  }
+}
+
+void TimeSeriesSampler::WriteCsv(std::ostream& out) const {
+  out << "time_s";
+  for (const std::string& name : columns_) {
+    out << ',' << name;
+  }
+  out << '\n';
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out << static_cast<double>(times_[r]) / 1e9;
+    for (uint64_t v : rows_[r]) {
+      out << ',' << v;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace biza

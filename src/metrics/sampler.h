@@ -1,0 +1,58 @@
+// Periodic time-series sampler over a StatRegistry.
+//
+// Every `interval_ns` of *simulated* time the sampler evaluates all
+// registered probes and appends one row: counters as per-interval deltas,
+// gauges as raw levels. Rows accumulate in memory and are written out as
+// CSV after the run (`afa_bench --sample-csv=...`), giving
+// latency-vs-time-style plots around fault / rebuild / GC events.
+//
+// The sampler schedules itself on the experiment's own Simulator, so its
+// ticks interleave deterministically with the workload regardless of
+// BIZA_THREADS: tick events only shift sequence numbers, never the relative
+// order of same-timestamp workload events, and they stop once the
+// simulation is otherwise idle (so RunUntilIdle still terminates).
+#ifndef BIZA_SRC_METRICS_SAMPLER_H_
+#define BIZA_SRC_METRICS_SAMPLER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/metrics/stat_registry.h"
+#include "src/sim/simulator.h"
+
+namespace biza {
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(StatRegistry* registry) : registry_(registry) {}
+
+  // Takes an immediate baseline sample (t = Now, all deltas 0) and
+  // schedules ticks every `interval_ns`. Call after the platform has
+  // registered its probes. Ticks self-terminate when the simulator has no
+  // other pending work at a tick.
+  void Start(Simulator* sim, SimTime interval_ns);
+
+  bool started() const { return interval_ns_ != 0; }
+  size_t rows() const { return times_.size(); }
+
+  // Header: time_s,<probe names in registration order>. One row per tick.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  void Sample(Simulator* sim);
+  void Tick(Simulator* sim);
+
+  StatRegistry* registry_;
+  SimTime interval_ns_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<StatKind> kinds_;
+  std::vector<uint64_t> last_;  // previous raw counter values, for deltas
+  std::vector<SimTime> times_;
+  std::vector<std::vector<uint64_t>> rows_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_METRICS_SAMPLER_H_

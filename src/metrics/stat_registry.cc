@@ -1,0 +1,51 @@
+#include "src/metrics/stat_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace biza {
+
+void StatRegistry::Register(std::string name, StatKind kind, Probe probe) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    probes_[it->second].kind = kind;
+    probes_[it->second].probe = std::move(probe);
+    return;
+  }
+  index_.emplace(name, probes_.size());
+  probes_.push_back(Entry{std::move(name), kind, std::move(probe)});
+}
+
+std::vector<StatRegistry::Sample> StatRegistry::Collect() const {
+  std::vector<Sample> out;
+  out.reserve(probes_.size());
+  for (const Entry& entry : probes_) {
+    out.push_back(Sample{&entry.name, entry.kind, entry.probe()});
+  }
+  return out;
+}
+
+std::string StatRegistry::HistogramSummaryJson() const {
+  std::string out = "{";
+  bool first = true;
+  char buf[256];
+  for (const auto& [name, hist] : histograms_) {
+    if (hist.count() == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"p50_us\":%.1f,"
+                  "\"p99_us\":%.1f,\"p999_us\":%.1f,\"max_us\":%.1f}",
+                  first ? "" : ",", name.c_str(), hist.count(),
+                  static_cast<double>(hist.Percentile(50)) / 1e3,
+                  static_cast<double>(hist.Percentile(99)) / 1e3,
+                  static_cast<double>(hist.Percentile(99.9)) / 1e3,
+                  static_cast<double>(hist.max()) / 1e3);
+    out += buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace biza

@@ -1,0 +1,106 @@
+#include "src/metrics/tracer.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace biza {
+
+std::string_view Tracer::LaneName(Lane lane) {
+  switch (lane) {
+    case kLaneDriver:
+      return "driver";
+    case kLaneEngine:
+      return "engine";
+    case kLaneScheduler:
+      return "scheduler";
+    case kLaneDevice:
+      return "device";
+    case kLaneNand:
+      return "nand";
+    default:
+      return "?";
+  }
+}
+
+void Tracer::Enable(size_t capacity_per_lane) {
+  assert(capacity_per_lane > 0);
+  for (LaneRing& lane : lanes_) {
+    lane.ring.resize(capacity_per_lane);
+    lane.head = 0;
+    lane.size = 0;
+  }
+  total_ = 0;
+  enabled_ = true;
+}
+
+uint16_t Tracer::Intern(std::string_view name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  assert(names_.size() < UINT16_MAX);
+  names_.emplace_back(name);
+  return static_cast<uint16_t>(names_.size() - 1);
+}
+
+size_t Tracer::ExportJson(std::ostream& out, int pid,
+                          bool leading_comma) const {
+  char buf[512];
+  size_t written = 0;
+  auto emit = [&](const char* text) {
+    if (leading_comma || written > 0) {
+      out << ",\n";
+    }
+    out << text;
+    ++written;
+  };
+
+  // Metadata: name the process after the experiment and the threads after
+  // the layer lanes so Perfetto shows "driver / engine / ..." tracks.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"args\":{\"name\":\"experiment seed+%d\"}}",
+                pid, pid);
+  emit(buf);
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%d %s\"}}",
+                  pid, lane, lane,
+                  std::string(LaneName(static_cast<Lane>(lane))).c_str());
+    emit(buf);
+  }
+
+  // Ring contents, per lane, oldest first (the viewer sorts by ts).
+  // `ts`/`dur` are microseconds (Chrome trace convention); simulated ns
+  // divide exactly into fractional µs.
+  for (const LaneRing& lane : lanes_) {
+    const size_t start = lane.size < lane.ring.size() ? 0 : lane.head;
+    for (size_t i = 0; i < lane.size; ++i) {
+      const Span& s = lane.ring[(start + i) % lane.ring.size()];
+      int n = std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
+          names_[s.name].c_str(), static_cast<double>(s.start) / 1e3,
+          static_cast<double>(s.end - s.start) / 1e3, pid, s.lane);
+      if (s.nargs > 0) {
+        n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                           ",\"args\":{");
+        for (int a = 0; a < s.nargs; ++a) {
+          n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                             "%s\"%s\":%" PRId64, a > 0 ? "," : "",
+                             names_[s.arg_key[a]].c_str(), s.arg_val[a]);
+        }
+        n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), "}");
+      }
+      std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), "}");
+      emit(buf);
+    }
+  }
+  return written;
+}
+
+}  // namespace biza

@@ -1,0 +1,157 @@
+// Span-based tracer over simulated time.
+//
+// Records [start, end) spans of the I/O path into a bounded, preallocated
+// ring buffer and exports them as Chrome trace_event JSON ("complete"
+// events, ph:"X") loadable in Perfetto / chrome://tracing.
+//
+// Layer model (one Perfetto track per lane):
+//
+//   driver -> engine -> scheduler -> device -> nand (channel/die)
+//
+// Span names follow "layer.operation" (driver.write, biza.gc_step,
+// sched.write, zns.read, nand.die_program); annotations are small integer
+// key/value pairs (zone, chunk offset, stripe sn, channel).
+//
+// Determinism contract: spans carry *simulated* timestamps only, never wall
+// clock, and each experiment owns its tracer. Exported events are keyed by
+// (pid = stable experiment id, tid = lane), so a trace taken under
+// BIZA_THREADS=8 is byte-identical to one taken under BIZA_THREADS=1.
+//
+// Zero overhead when disabled: the hot-path guard is `Armed(now)` — three
+// flag/range compares, inlined, no allocation. Components additionally hold
+// the tracer behind a pointer that is null unless observability is attached,
+// so un-instrumented runs pay one branch per site.
+#ifndef BIZA_SRC_METRICS_TRACER_H_
+#define BIZA_SRC_METRICS_TRACER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace biza {
+
+class Tracer {
+ public:
+  // One lane per layer of the I/O path; exported as Perfetto threads.
+  enum Lane : uint8_t {
+    kLaneDriver = 0,
+    kLaneEngine,
+    kLaneScheduler,
+    kLaneDevice,
+    kLaneNand,
+    kNumLanes,
+  };
+  static std::string_view LaneName(Lane lane);
+
+  static constexpr int kMaxArgs = 3;
+
+  struct Span {
+    SimTime start;
+    SimTime end;
+    uint16_t name;  // interned via Intern()
+    uint8_t lane;
+    uint8_t nargs;
+    uint16_t arg_key[kMaxArgs];  // interned
+    int64_t arg_val[kMaxArgs];
+  };
+
+  // Preallocates a ring of `capacity_per_lane` spans per lane and arms the
+  // tracer. When a lane's ring fills, its oldest spans are overwritten (the
+  // tail of a run is usually the interesting part; use the window to aim
+  // elsewhere). Rings are per lane so that a flood in one layer (e.g. NAND
+  // background programs during GC) cannot evict the much rarer driver- or
+  // engine-level spans.
+  void Enable(size_t capacity_per_lane);
+
+  // Restricts recording to spans *starting* in [start_ns, end_ns) of
+  // simulated time, so tracing a 60 s run around one fault stays cheap.
+  void SetWindow(SimTime start_ns, SimTime end_ns) {
+    window_start_ = start_ns;
+    window_end_ = end_ns;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  // The hot-path guard: true iff a span starting at `t` would be kept.
+  bool Armed(SimTime t) const {
+    return enabled_ && t >= window_start_ && t < window_end_;
+  }
+
+  // Returns a stable id for `name`, deduplicating repeats. Called at attach
+  // time, never on the hot path.
+  uint16_t Intern(std::string_view name);
+
+  void Record(Lane lane, uint16_t name, SimTime start, SimTime end) {
+    Span& s = Push(lane);
+    s = Span{start, end, name, static_cast<uint8_t>(lane), 0, {}, {}};
+  }
+  void Record(Lane lane, uint16_t name, SimTime start, SimTime end,
+              uint16_t k0, int64_t v0) {
+    Span& s = Push(lane);
+    s = Span{start, end, name, static_cast<uint8_t>(lane), 1, {k0}, {v0}};
+  }
+  void Record(Lane lane, uint16_t name, SimTime start, SimTime end,
+              uint16_t k0, int64_t v0, uint16_t k1, int64_t v1) {
+    Span& s = Push(lane);
+    s = Span{start,    end, name, static_cast<uint8_t>(lane), 2, {k0, k1},
+             {v0, v1}};
+  }
+  void Record(Lane lane, uint16_t name, SimTime start, SimTime end,
+              uint16_t k0, int64_t v0, uint16_t k1, int64_t v1, uint16_t k2,
+              int64_t v2) {
+    Span& s = Push(lane);
+    s = Span{start,        end,         name, static_cast<uint8_t>(lane), 3,
+             {k0, k1, k2}, {v0, v1, v2}};
+  }
+
+  // Spans currently held across all lanes (<= kNumLanes * capacity) and
+  // total ever recorded.
+  size_t size() const {
+    size_t n = 0;
+    for (const LaneRing& lane : lanes_) {
+      n += lane.size;
+    }
+    return n;
+  }
+  uint64_t total_recorded() const { return total_; }
+
+  // Writes this tracer's spans as trace_event objects, comma-separated with
+  // no enclosing array and no trailing comma, preceded by process/thread
+  // metadata events. `pid` is the stable experiment id (the seed offset).
+  // Multiple tracers append into one file; the caller wraps "[...]".
+  // Returns the number of event objects written.
+  size_t ExportJson(std::ostream& out, int pid, bool leading_comma) const;
+
+ private:
+  struct LaneRing {
+    std::vector<Span> ring;
+    size_t head = 0;  // next write position
+    size_t size = 0;  // valid spans
+  };
+
+  Span& Push(Lane lane) {
+    LaneRing& r = lanes_[lane];
+    Span& s = r.ring[r.head];
+    r.head = r.head + 1 == r.ring.size() ? 0 : r.head + 1;
+    if (r.size < r.ring.size()) {
+      ++r.size;
+    }
+    ++total_;
+    return s;
+  }
+
+  bool enabled_ = false;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = ~SimTime{0};
+  LaneRing lanes_[kNumLanes];
+  uint64_t total_ = 0;
+  std::vector<std::string> names_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_METRICS_TRACER_H_

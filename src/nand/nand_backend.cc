@@ -24,6 +24,19 @@ NandBackend::NandBackend(Simulator* sim, const NandTimingConfig& config)
   }
 }
 
+void NandBackend::SetTracer(Tracer* tracer, int device_id) {
+  tracer_ = tracer;
+  trace_device_id_ = device_id;
+  if (tracer_ != nullptr) {
+    span_chan_write_ = tracer_->Intern("nand.chan_write");
+    span_chan_read_ = tracer_->Intern("nand.chan_read");
+    span_die_program_ = tracer_->Intern("nand.die_program");
+    span_die_read_ = tracer_->Intern("nand.die_read");
+    key_channel_ = tracer_->Intern("channel");
+    key_device_ = tracer_->Intern("device");
+  }
+}
+
 FifoResource& NandBackend::NextDie(int channel) {
   auto& channel_dies = dies_[static_cast<size_t>(channel)];
   const size_t index = die_rr_[static_cast<size_t>(channel)]++ % channel_dies.size();
@@ -41,13 +54,25 @@ SimTime NandBackend::Write(int channel, uint64_t bytes) {
   // die to drain its previous program.
   const SimTime gate = ctrl_done > die.free_at() ? ctrl_done : die.free_at();
   FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const bool traced = tracer_ != nullptr && tracer_->Armed(now);
+  const SimTime bus_free = traced ? bus.free_at() : 0;
   const SimTime xfer_ns =
       ServiceNs(bytes, config_.chan_write_mbps, config_.chan_fixed_ns);
   const SimTime chan_done = bus.OccupyFor(gate, xfer_ns);
 
   const SimTime prog_ns =
       ServiceNs(bytes, config_.die_program_mbps, config_.die_program_fixed_ns);
-  die.OccupyFor(chan_done, prog_ns);
+  const SimTime prog_done = die.OccupyFor(chan_done, prog_ns);
+  if (traced) {
+    // gate >= die.free_at() by construction, so the die program starts
+    // exactly when the transfer ends.
+    tracer_->Record(Tracer::kLaneNand, span_chan_write_,
+                    bus_free > gate ? bus_free : gate, chan_done,
+                    key_channel_, channel, key_device_, trace_device_id_);
+    tracer_->Record(Tracer::kLaneNand, span_die_program_, chan_done,
+                    prog_done, key_channel_, channel, key_device_,
+                    trace_device_id_);
+  }
 
   auto& stats = channel_stats_[static_cast<size_t>(channel)];
   stats.bus_busy_ns += xfer_ns;
@@ -61,12 +86,21 @@ SimTime NandBackend::BackgroundProgram(int channel, uint64_t bytes) {
   FifoResource& die = NextDie(channel);
   const SimTime gate = now > die.free_at() ? now : die.free_at();
   FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const bool traced = tracer_ != nullptr && tracer_->Armed(now);
+  const SimTime bus_free = traced ? bus.free_at() : 0;
   const SimTime xfer_ns =
       ServiceNs(bytes, config_.chan_write_mbps, config_.chan_fixed_ns);
   const SimTime chan_done = bus.OccupyFor(gate, xfer_ns);
   const SimTime prog_ns =
       ServiceNs(bytes, config_.die_program_mbps, config_.die_program_fixed_ns);
   const SimTime done = die.OccupyFor(chan_done, prog_ns);
+  if (traced) {
+    tracer_->Record(Tracer::kLaneNand, span_chan_write_,
+                    bus_free > gate ? bus_free : gate, chan_done,
+                    key_channel_, channel, key_device_, trace_device_id_);
+    tracer_->Record(Tracer::kLaneNand, span_die_program_, chan_done, done,
+                    key_channel_, channel, key_device_, trace_device_id_);
+  }
   auto& stats = channel_stats_[static_cast<size_t>(channel)];
   stats.bus_busy_ns += xfer_ns;
   stats.bytes_written += bytes;
@@ -77,14 +111,25 @@ SimTime NandBackend::Read(int channel, uint64_t bytes) {
   assert(channel >= 0 && channel < config_.num_channels);
   const SimTime now = sim_->Now();
   FifoResource& die = NextDie(channel);
+  const bool traced = tracer_ != nullptr && tracer_->Armed(now);
+  const SimTime die_free = traced ? die.free_at() : 0;
   const SimTime sense_done = die.OccupyFor(
       now, ServiceNs(bytes, config_.die_read_mbps, config_.die_read_fixed_ns));
   FifoResource& bus = channels_[static_cast<size_t>(channel)];
+  const SimTime bus_free = traced ? bus.free_at() : 0;
   const SimTime xfer_ns =
       ServiceNs(bytes, config_.chan_read_mbps, config_.chan_fixed_ns);
   const SimTime chan_done = bus.OccupyFor(sense_done, xfer_ns);
   const SimTime ctrl_done = ctrl_read_.OccupyFor(
       chan_done, ServiceNs(bytes, config_.ctrl_read_mbps, config_.ctrl_fixed_ns));
+  if (traced) {
+    tracer_->Record(Tracer::kLaneNand, span_die_read_,
+                    die_free > now ? die_free : now, sense_done, key_channel_,
+                    channel, key_device_, trace_device_id_);
+    tracer_->Record(Tracer::kLaneNand, span_chan_read_,
+                    bus_free > sense_done ? bus_free : sense_done, chan_done,
+                    key_channel_, channel, key_device_, trace_device_id_);
+  }
   auto& stats = channel_stats_[static_cast<size_t>(channel)];
   stats.bus_busy_ns += xfer_ns;
   stats.bytes_read += bytes;

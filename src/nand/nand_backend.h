@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/metrics/tracer.h"
 #include "src/sim/simulator.h"
 
 namespace biza {
@@ -107,11 +108,32 @@ class NandBackend {
   }
   Simulator* sim() { return sim_; }
 
+  // How far ahead of Now() the channel bus is already committed — the
+  // "in-flight per channel" gauge of the time-series sampler.
+  SimTime ChannelBacklogNs(int channel) const {
+    const SimTime free_at =
+        channels_[static_cast<size_t>(channel)].free_at();
+    const SimTime now = sim_->Now();
+    return free_at > now ? free_at - now : 0;
+  }
+
+  // Records nand.chan_* / nand.die_* spans for every bus transfer and die
+  // program/sense this backend schedules. Pass nullptr to detach.
+  void SetTracer(Tracer* tracer, int device_id);
+
  private:
   FifoResource& NextDie(int channel);
 
   Simulator* sim_;
   NandTimingConfig config_;
+  Tracer* tracer_ = nullptr;
+  int trace_device_id_ = 0;
+  uint16_t span_chan_write_ = 0;
+  uint16_t span_chan_read_ = 0;
+  uint16_t span_die_program_ = 0;
+  uint16_t span_die_read_ = 0;
+  uint16_t key_channel_ = 0;
+  uint16_t key_device_ = 0;
   FifoResource ctrl_write_;
   FifoResource ctrl_read_;
   std::vector<FifoResource> channels_;

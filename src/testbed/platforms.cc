@@ -126,6 +126,34 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
   for (auto& dev : p.conv_) {
     dev->AttachFaultInjector(p.fault_.get(), p.next_fault_id_++);
   }
+
+  // Observability plane: per-device ids match the fault-plan ids above.
+  if (config.obs != nullptr) {
+    Observability* obs = config.obs;
+    int id = 0;
+    for (auto& dev : p.zns_) {
+      dev->AttachObservability(obs, id++);
+    }
+    for (auto& dev : p.conv_) {
+      dev->AttachObservability(obs, id++);
+    }
+    if (p.biza_) {
+      p.biza_->AttachObservability(obs);
+    }
+    if (p.mdraid_) {
+      p.mdraid_->AttachObservability(obs);
+    }
+    FaultInjector* fault = p.fault_.get();
+    obs->registry.RegisterCounter(
+        "fault.injected_read_errors",
+        [fault] { return fault->stats().injected_read_errors; });
+    obs->registry.RegisterCounter(
+        "fault.injected_write_errors",
+        [fault] { return fault->stats().injected_write_errors; });
+    obs->registry.RegisterCounter(
+        "fault.unavailable_rejections",
+        [fault] { return fault->stats().unavailable_rejections; });
+  }
   return platform;
 }
 
@@ -134,7 +162,11 @@ ZnsDevice* Platform::AddSpareZnsDevice(Simulator* sim) {
   zc.seed = config_.seed * 1000003ULL +
             static_cast<uint64_t>(1000 + next_fault_id_);
   zns_.push_back(std::make_unique<ZnsDevice>(sim, zc));
-  zns_.back()->AttachFaultInjector(fault_.get(), next_fault_id_++);
+  const int id = next_fault_id_++;
+  zns_.back()->AttachFaultInjector(fault_.get(), id);
+  if (config_.obs != nullptr) {
+    zns_.back()->AttachObservability(config_.obs, id);
+  }
   return zns_.back().get();
 }
 
@@ -143,7 +175,11 @@ BlockTarget* Platform::AddSpareConvTarget(Simulator* sim) {
   cc.seed = config_.seed * 2000003ULL +
             static_cast<uint64_t>(1000 + next_fault_id_);
   conv_.push_back(std::make_unique<ConvSsd>(sim, cc));
-  conv_.back()->AttachFaultInjector(fault_.get(), next_fault_id_++);
+  const int id = next_fault_id_++;
+  conv_.back()->AttachFaultInjector(fault_.get(), id);
+  if (config_.obs != nullptr) {
+    conv_.back()->AttachObservability(config_.obs, id);
+  }
   conv_adapters_.push_back(
       std::make_unique<ConvSsdTarget>(conv_.back().get()));
   return conv_adapters_.back().get();

@@ -25,6 +25,7 @@
 #include "src/engines/mdraid.h"
 #include "src/engines/raizn.h"
 #include "src/fault/fault_injector.h"
+#include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_device.h"
@@ -58,6 +59,11 @@ struct PlatformConfig {
   // member devices — an empty plan injects nothing and consumes no RNG, so
   // healthy runs stay bit-identical to pre-fault-plane builds.
   FaultPlan faults;
+
+  // Optional observability sink (not owned). When set, Platform::Create
+  // attaches it to every member device and engine: counters/gauges land in
+  // obs->registry, spans in obs->tracer. nullptr keeps everything dark.
+  Observability* obs = nullptr;
 
   // Matches per-SSD capacities: the conventional SSD exposes the same data
   // capacity as one ZNS SSD.

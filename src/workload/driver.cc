@@ -78,15 +78,22 @@ void Driver::IssueOne() {
       }
     }
     const uint64_t bytes = req.nblocks * kBlockSize;
+    const uint64_t offset = req.offset_blocks;
     target_->SubmitWrite(
-        req.offset_blocks, std::move(patterns),
-        [this, submit, bytes](const Status& status) {
+        offset, std::move(patterns),
+        [this, submit, bytes, offset](const Status& status) {
           inflight_--;
           if (status.ok()) {
             report_.bytes_written += bytes;
           }
           report_.requests_completed++;
           report_.write_latency.Record(sim_->Now() - submit);
+          if (tracer_ != nullptr && tracer_->Armed(submit)) {
+            tracer_->Record(Tracer::kLaneDriver, span_write_, submit,
+                            sim_->Now(), key_offset_,
+                            static_cast<int64_t>(offset), key_blocks_,
+                            static_cast<int64_t>(bytes / kBlockSize));
+          }
           last_completion_ = sim_->Now();
           IssueLoop();
         });
@@ -112,6 +119,12 @@ void Driver::IssueOne() {
           RecyclePatternBuffer(std::move(patterns));
           report_.requests_completed++;
           report_.read_latency.Record(sim_->Now() - submit);
+          if (tracer_ != nullptr && tracer_->Armed(submit)) {
+            tracer_->Record(Tracer::kLaneDriver, span_read_, submit,
+                            sim_->Now(), key_offset_,
+                            static_cast<int64_t>(offset), key_blocks_,
+                            static_cast<int64_t>(bytes / kBlockSize));
+          }
           last_completion_ = sim_->Now();
           IssueLoop();
         });

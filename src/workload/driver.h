@@ -17,6 +17,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/engines/target.h"
+#include "src/metrics/tracer.h"
 #include "src/sim/simulator.h"
 #include "src/workload/workload.h"
 
@@ -59,6 +60,18 @@ class Driver {
     arrival_interval_ns_ = interval_ns;
   }
 
+  // Records a driver-lane span ("driver.write"/"driver.read") per request
+  // covering submit to completion. Pass nullptr to detach.
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      span_write_ = tracer_->Intern("driver.write");
+      span_read_ = tracer_->Intern("driver.read");
+      key_offset_ = tracer_->Intern("offset");
+      key_blocks_ = tracer_->Intern("blocks");
+    }
+  }
+
   // Runs until `max_requests` have been issued or `max_duration` of virtual
   // time has passed (whichever first), then drains. Pumps the simulator.
   DriverReport Run(uint64_t max_requests, SimTime max_duration);
@@ -98,6 +111,12 @@ class Driver {
 
   std::unordered_map<uint64_t, uint64_t> expected_;  // verify mode
   std::vector<std::vector<uint64_t>> spare_patterns_;
+
+  Tracer* tracer_ = nullptr;
+  uint16_t span_write_ = 0;
+  uint16_t span_read_ = 0;
+  uint16_t key_offset_ = 0;
+  uint16_t key_blocks_ = 0;
 
   DriverReport report_;
 };

@@ -35,6 +35,58 @@ ZnsDevice::ZnsDevice(Simulator* sim, const ZnsConfig& config)
   }
 }
 
+void ZnsDevice::AttachObservability(Observability* obs, int device_id) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    h_write_ = nullptr;
+    h_read_ = nullptr;
+    backend_->SetTracer(nullptr, device_id);
+    return;
+  }
+  const std::string prefix = "dev" + std::to_string(device_id) + ".zns.";
+  StatRegistry& reg = obs_->registry;
+  reg.RegisterCounter(prefix + "host_written_blocks",
+                      [this] { return stats_.host_written_blocks; });
+  reg.RegisterCounter(prefix + "flash_programmed_blocks",
+                      [this] { return stats_.flash_programmed_blocks; });
+  reg.RegisterCounter(prefix + "zrwa_absorbed_blocks",
+                      [this] { return stats_.zrwa_absorbed_blocks; });
+  reg.RegisterCounter(prefix + "host_read_blocks",
+                      [this] { return stats_.host_read_blocks; });
+  reg.RegisterCounter(prefix + "zone_resets",
+                      [this] { return stats_.zone_resets; });
+  reg.RegisterCounter(prefix + "write_failures",
+                      [this] { return stats_.write_failures; });
+  reg.RegisterGauge(prefix + "open_zones", [this] {
+    return static_cast<uint64_t>(open_zones_);
+  });
+  // ZRWA occupancy: blocks currently inside some open zone's sliding window
+  // (i.e. admitted but not yet committed to flash).
+  reg.RegisterGauge(prefix + "zrwa_occupancy_blocks", [this] {
+    uint64_t occupied = 0;
+    for (const Zone& z : zones_) {
+      if (z.state == ZoneState::kOpen && z.with_zrwa &&
+          z.high_water > z.flush_ptr) {
+        occupied += z.high_water - z.flush_ptr;
+      }
+    }
+    return occupied;
+  });
+  for (int c = 0; c < backend_->num_channels(); ++c) {
+    reg.RegisterGauge(prefix + "chan" + std::to_string(c) + ".backlog_ns",
+                      [this, c] { return backend_->ChannelBacklogNs(c); });
+  }
+  h_write_ = reg.Histogram(prefix + "write_latency_ns");
+  h_read_ = reg.Histogram(prefix + "read_latency_ns");
+  span_write_ = obs_->tracer.Intern("zns.write");
+  span_read_ = obs_->tracer.Intern("zns.read");
+  span_append_ = obs_->tracer.Intern("zns.append");
+  key_zone_ = obs_->tracer.Intern("zone");
+  key_offset_ = obs_->tracer.Intern("offset");
+  key_blocks_ = obs_->tracer.Intern("blocks");
+  backend_->SetTracer(&obs_->tracer, device_id);
+}
+
 SimTime ZnsDevice::DispatchDelay() {
   SimTime delay = config_.dispatch_base_ns;
   if (config_.dispatch_jitter_ns > 0) {
@@ -211,8 +263,9 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
       }
     }
     MaybeTransitionFull(z);
-    sim_->ScheduleAt(Stretch(z.channel, done),
-                     [cb = std::move(cb)]() { cb(OkStatus()); });
+    const SimTime fin = Stretch(z.channel, done);
+    ObserveIo(span_write_, h_write_, fin, zone, offset, n);
+    sim_->ScheduleAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
     return;
   }
 
@@ -236,8 +289,9 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
   stats_.flash_programmed_blocks += n;
   const SimTime done = backend_->Write(z.channel, bytes);
   MaybeTransitionFull(z);
-  sim_->ScheduleAt(Stretch(z.channel, done),
-                   [cb = std::move(cb)]() { cb(OkStatus()); });
+  const SimTime fin = Stretch(z.channel, done);
+  ObserveIo(span_write_, h_write_, fin, zone, offset, n);
+  sim_->ScheduleAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
@@ -295,7 +349,9 @@ void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
   stats_.flash_programmed_blocks += n;
   const SimTime done = backend_->Write(z.channel, n * kBlockSize);
   MaybeTransitionFull(z);
-  sim_->ScheduleAt(Stretch(z.channel, done),
+  const SimTime fin = Stretch(z.channel, done);
+  ObserveIo(span_append_, h_write_, fin, zone, offset, n);
+  sim_->ScheduleAt(fin,
                    [cb = std::move(cb), offset]() { cb(OkStatus(), offset); });
 }
 
@@ -351,11 +407,12 @@ void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
     // Never-written zone: instant zero-fill from the controller.
     done = backend_->BufferRead(bytes);
   }
-  sim_->ScheduleAt(
-      Stretch(z.channel, done),
-      [cb = std::move(cb), result = std::move(result)]() mutable {
-        cb(OkStatus(), std::move(result));
-      });
+  const SimTime fin = Stretch(z.channel, done);
+  ObserveIo(span_read_, h_read_, fin, zone, offset, nblocks);
+  sim_->ScheduleAt(fin,
+                   [cb = std::move(cb), result = std::move(result)]() mutable {
+                     cb(OkStatus(), std::move(result));
+                   });
 }
 
 Status ZnsDevice::OpenZone(uint32_t zone, bool with_zrwa) {

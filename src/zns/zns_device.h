@@ -39,6 +39,7 @@
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
 #include "src/fault/fault_injector.h"
+#include "src/metrics/observability.h"
 #include "src/nand/nand_backend.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_config.h"
@@ -169,6 +170,12 @@ class ZnsDevice {
     fault_device_id_ = device_id;
   }
 
+  // Registers this device's counters/gauges ("dev<id>.zns.*") with the
+  // registry, its write/read latency histograms, and zns.* spans with the
+  // tracer (which is also forwarded to the NAND backend for channel/die
+  // spans). Pass nullptr to detach.
+  void AttachObservability(Observability* obs, int device_id);
+
  private:
   struct Block {
     uint64_t pattern = 0;
@@ -227,12 +234,39 @@ class ZnsDevice {
   void DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
               ReadCallback cb);
 
+  // Span + latency-histogram hook for one data-plane command completing at
+  // `done` (simulated). One null check when observability is not attached.
+  void ObserveIo(uint16_t span, LatencyHistogram* hist, SimTime done,
+                 uint32_t zone, uint64_t offset, uint64_t nblocks) {
+    if (obs_ == nullptr) {
+      return;
+    }
+    const SimTime now = sim_->Now();
+    if (hist != nullptr) {
+      hist->Record(done - now);
+    }
+    if (obs_->tracer.Armed(now)) {
+      obs_->tracer.Record(Tracer::kLaneDevice, span, now, done, key_zone_,
+                          zone, key_offset_, static_cast<int64_t>(offset),
+                          key_blocks_, static_cast<int64_t>(nblocks));
+    }
+  }
+
   Simulator* sim_;
   ZnsConfig config_;
   std::unique_ptr<NandBackend> backend_;
   Rng rng_;
   FaultInjector* fault_ = nullptr;
   int fault_device_id_ = -1;
+  Observability* obs_ = nullptr;
+  uint16_t span_write_ = 0;
+  uint16_t span_read_ = 0;
+  uint16_t span_append_ = 0;
+  uint16_t key_zone_ = 0;
+  uint16_t key_offset_ = 0;
+  uint16_t key_blocks_ = 0;
+  LatencyHistogram* h_write_ = nullptr;
+  LatencyHistogram* h_read_ = nullptr;
   std::vector<Zone> zones_;
   int open_zones_ = 0;
   uint64_t open_rr_counter_ = 0;

@@ -1,11 +1,20 @@
-// Tests for the metrics helpers (CPU accounts, WA breakdowns) and the
-// device adapters.
+// Tests for the metrics helpers (CPU accounts, WA breakdowns), the device
+// adapters, and the observability plane (registry, tracer, sampler).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/histogram.h"
 #include "src/engines/adapters.h"
 #include "src/metrics/cpu_account.h"
+#include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
+#include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
 
 namespace biza {
 namespace {
@@ -121,6 +130,220 @@ TEST(ConvSsdTargetAdapter, ForwardsCapacityAndIo) {
   sim.RunUntilIdle();
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(out.at(0), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane (src/metrics, DESIGN.md §5).
+
+TEST(LatencyHistogramBuckets, PercentilesBoundedByRecordedRange) {
+  LatencyHistogram h;
+  for (uint64_t v = 1000; v <= 100000; v += 1000) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 100000u);
+  // Log-bucketing with 6 significant bits bounds the representative value
+  // of any bucket to within ~1/64 of the true sample.
+  const double tolerance = 1.0 / 64.0;
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(static_cast<double>(v), 1000.0 * (1 - tolerance)) << p;
+    EXPECT_LE(static_cast<double>(v), 100000.0 * (1 + tolerance)) << p;
+  }
+  // Percentiles are monotone in p.
+  EXPECT_LE(h.Percentile(50), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Percentile(99.9));
+  // The median of a uniform 1..100k sweep sits near 50k.
+  const double median = static_cast<double>(h.Percentile(50));
+  EXPECT_NEAR(median, 50000.0, 50000.0 * 2 * tolerance);
+}
+
+TEST(StatRegistryTest, CollectPreservesRegistrationOrderAndKinds) {
+  StatRegistry reg;
+  uint64_t a = 5, b = 7;
+  reg.RegisterCounter("z.first", [&a] { return a; });
+  reg.RegisterGauge("a.second", [&b] { return b; });
+  auto samples = reg.Collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(*samples[0].name, "z.first");  // registration order, not sorted
+  EXPECT_EQ(samples[0].kind, StatKind::kCounter);
+  EXPECT_EQ(samples[0].value, 5u);
+  EXPECT_EQ(*samples[1].name, "a.second");
+  EXPECT_EQ(samples[1].kind, StatKind::kGauge);
+  EXPECT_EQ(samples[1].value, 7u);
+
+  // Re-registering a name replaces the probe instead of duplicating it
+  // (hot-swapped spare devices re-register their ids).
+  uint64_t c = 11;
+  reg.RegisterCounter("z.first", [&c] { return c; });
+  samples = reg.Collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].value, 11u);
+}
+
+TEST(StatRegistryTest, HistogramPointersAreStable) {
+  StatRegistry reg;
+  LatencyHistogram* h1 = reg.Histogram("x.lat");
+  for (int i = 0; i < 100; ++i) {
+    reg.Histogram("h" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.Histogram("x.lat"), h1);  // std::map nodes never move
+  h1->Record(5000);
+  EXPECT_EQ(reg.Histogram("x.lat")->count(), 1u);
+}
+
+TEST(TracerTest, WindowGatesRecording) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.Armed(0));  // disabled by default
+  tracer.Enable(16);
+  EXPECT_TRUE(tracer.Armed(0));
+  tracer.SetWindow(1000, 2000);
+  EXPECT_FALSE(tracer.Armed(999));
+  EXPECT_TRUE(tracer.Armed(1000));
+  EXPECT_FALSE(tracer.Armed(2000));
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsTotal) {
+  Tracer tracer;
+  tracer.Enable(4);
+  const uint16_t name = tracer.Intern("x.op");
+  for (SimTime t = 0; t < 10; ++t) {
+    tracer.Record(Tracer::kLaneDriver, name, t, t + 1);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+// Drives one small BIZA experiment with observability attached and returns
+// the exports. Deterministic: everything is keyed by simulated time.
+struct ObsRun {
+  std::string trace_json;
+  std::string csv;
+  uint64_t fired_events = 0;
+  uint64_t requests = 0;
+};
+
+ObsRun RunObservedExperiment(bool attach_obs, bool enable_tracer) {
+  Simulator sim;
+  Observability obs;
+  if (enable_tracer) {
+    obs.tracer.Enable(1 << 14);
+  }
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/16, /*zone_capacity_blocks=*/256);
+  config.MatchConvCapacity();
+  if (attach_obs) {
+    config.obs = &obs;
+  }
+  auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
+  MicroWorkload workload(/*sequential=*/false, /*write=*/true,
+                         /*request_blocks=*/4,
+                         platform->block()->capacity_blocks() / 2, 7);
+  Driver driver(&sim, platform->block(), &workload, /*iodepth=*/8);
+  if (attach_obs) {
+    driver.SetTracer(&obs.tracer);
+    obs.sampler.Start(&sim, /*interval_ns=*/kMillisecond);
+  }
+  const DriverReport report = driver.Run(2000, kSecond);
+  platform->Quiesce(&sim);
+
+  ObsRun out;
+  out.fired_events = sim.fired_events();
+  out.requests = report.requests_completed;
+  if (attach_obs) {
+    std::ostringstream trace;
+    obs.tracer.ExportJson(trace, /*pid=*/0, /*leading_comma=*/false);
+    out.trace_json = trace.str();
+    std::ostringstream csv;
+    obs.sampler.WriteCsv(csv);
+    out.csv = csv.str();
+  }
+  return out;
+}
+
+TEST(TracerTest, ExportIsWellFormedJsonWithAllLayers) {
+  const ObsRun run = RunObservedExperiment(/*attach_obs=*/true,
+                                           /*enable_tracer=*/true);
+  const std::string json = "[" + run.trace_json + "]";
+  // Structural well-formedness: brackets and braces balance, no dangling
+  // comma before a closer, quotes pair up.
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (in_string) {
+      if (c == '"' && prev != '\\') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '[' || c == '{') {
+      depth++;
+    } else if (c == ']' || c == '}') {
+      EXPECT_NE(prev, ',') << "dangling comma before closer";
+      depth--;
+      ASSERT_GE(depth, 0);
+    }
+    if (c != ' ' && c != '\n') {
+      prev = c;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // Spans from every layer of the stack appear.
+  for (const char* name :
+       {"driver.write", "biza.write", "sched.write", "zns.write",
+        "nand.die_program", "process_name", "thread_name"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(SamplerTest, DeterministicAcrossRunnerThreadCounts) {
+  // The same experiment run under the parallel experiment runner with 1 and
+  // 8 threads must serialize byte-identical observability output: spans and
+  // samples are keyed by simulated time, never wall clock.
+  auto job = []() {
+    return RunObservedExperiment(/*attach_obs=*/true, /*enable_tracer=*/true);
+  };
+  std::vector<std::function<ObsRun()>> jobs1(3, job), jobs8(3, job);
+  const auto r1 = RunExperiments(std::move(jobs1), /*threads=*/1);
+  const auto r8 = RunExperiments(std::move(jobs8), /*threads=*/8);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].csv, r8[i].csv);
+    EXPECT_EQ(r1[i].trace_json, r8[i].trace_json);
+    EXPECT_EQ(r1[i].fired_events, r8[i].fired_events);
+  }
+  // The CSV has a header plus at least one sample row, all rows same arity.
+  std::istringstream csv(r1[0].csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.rfind("time_s,", 0), 0u);
+  const size_t cols = static_cast<size_t>(
+      std::count(line.begin(), line.end(), ',')) + 1;
+  size_t rows = 0;
+  while (std::getline(csv, line)) {
+    rows++;
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(line.begin(), line.end(), ',')) + 1, cols);
+  }
+  EXPECT_GE(rows, 2u);
+}
+
+TEST(ObservabilityNeutrality, AttachedButDarkChangesNothing) {
+  // Attaching the registry (pull probes) with the tracer disabled must not
+  // perturb the simulation: same event count, same request count as a run
+  // with no observability at all.
+  const ObsRun bare = RunObservedExperiment(/*attach_obs=*/false,
+                                            /*enable_tracer=*/false);
+  const ObsRun dark = RunObservedExperiment(/*attach_obs=*/true,
+                                            /*enable_tracer=*/false);
+  EXPECT_EQ(bare.requests, dark.requests);
+  // The sampler adds its own tick events but must not reorder or change
+  // the workload's: request count above is the hard identity; the event
+  // delta is exactly the sampler ticks plus the tick-scheduling epsilon.
+  EXPECT_GE(dark.fired_events, bare.fired_events);
 }
 
 }  // namespace

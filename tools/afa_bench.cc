@@ -8,6 +8,8 @@
 //             [--deviation=P] [--expose-channels] [--verify]
 //             [--seeds=N] [--threads=T]
 //             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
+//             [--trace=FILE] [--trace-start=S] [--trace-end=S]
+//             [--sample-csv=FILE] [--sample-interval-ms=M] [--stats]
 //
 //   afa_bench --list            # platforms and workloads
 //
@@ -22,15 +24,35 @@
 //   --rebuild           after the workload, hot-swap the first dead device
 //                       for a fresh spare and run the online rebuild to
 //                       completion (BIZA and mdraid+ConvSSD platforms)
+//
+// Observability (src/metrics, see DESIGN.md §5):
+//   --trace=FILE        export a Chrome trace_event JSON (load in Perfetto
+//                       or chrome://tracing); spans cover driver, engine,
+//                       scheduler, device, and NAND channel/die layers.
+//                       With --seeds=N each seed becomes its own process
+//                       row in the viewer. Timestamps are virtual time.
+//   --trace-start=S / --trace-end=S
+//                       only record spans inside [S, E) seconds of virtual
+//                       time (defaults: whole run).
+//   --sample-csv=FILE   periodic time-series of every registered counter
+//                       (as per-interval deltas) and gauge (raw), sampled
+//                       every --sample-interval-ms of virtual time
+//                       (default 10 ms). Seed 0's series is written.
+//   --stats             dump final counter/gauge values and print a
+//                       machine-readable "BENCH_HISTOGRAMS {...}" line
+//                       with per-histogram p50/p99/p99.9/max.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
 #include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
@@ -70,6 +92,18 @@ struct Options {
   std::vector<FailAt> fail_device;
   std::vector<FailSlow> fail_slow;
   bool rebuild = false;
+
+  // Observability plane (all off by default: zero overhead).
+  std::string trace_file;
+  double trace_start_s = 0.0;
+  double trace_end_s = -1.0;  // < 0 = open-ended
+  std::string sample_csv;
+  double sample_interval_ms = 10.0;
+  bool stats = false;
+
+  bool ObservabilityOn() const {
+    return !trace_file.empty() || !sample_csv.empty() || stats;
+  }
 };
 
 void PrintUsage() {
@@ -85,7 +119,9 @@ void PrintUsage() {
       "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
       "            --deviation=P --expose-channels --verify\n"
       "            --seeds=N --threads=T\n"
-      "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n");
+      "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n"
+      "observe   : --trace=FILE --trace-start=S --trace-end=S\n"
+      "            --sample-csv=FILE --sample-interval-ms=M --stats\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -166,6 +202,14 @@ struct RunResult {
   uint64_t rebuild_blocks = 0;
   uint64_t rebuild_passes = 0;
   double rebuild_seconds = 0.0;
+
+  // Observability exports, serialized per seed inside the worker thread so
+  // main only stitches strings (keeps file I/O out of the parallel region).
+  std::string trace_json;       // comma-separated trace_event fragment
+  size_t trace_spans = 0;
+  std::string sample_csv;       // full CSV including header
+  std::string histograms_json;  // {"name":{count,p50,...},...}
+  std::string stats_text;       // "name value" per line, final values
 };
 
 RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
@@ -189,6 +233,21 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
     config.faults.Device(f.device).latency_mult = f.mult;
   }
 
+  // Each seed gets a private Observability so the parallel runner never
+  // shares mutable state across experiments; exports are merged by main.
+  auto obs = opt.ObservabilityOn() ? std::make_unique<Observability>() : nullptr;
+  if (obs != nullptr) {
+    config.obs = obs.get();
+    if (!opt.trace_file.empty()) {
+      obs->tracer.Enable(1 << 16);  // 64 Ki spans per lane (overwrite-oldest)
+      const SimTime start = static_cast<SimTime>(opt.trace_start_s * 1e9);
+      const SimTime end = opt.trace_end_s < 0
+                              ? ~SimTime{0}
+                              : static_cast<SimTime>(opt.trace_end_s * 1e9);
+      obs->tracer.SetWindow(start, end);
+    }
+  }
+
   auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
   BlockTarget* target = platform->block();
 
@@ -201,6 +260,15 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   }
 
   Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
+  if (obs != nullptr) {
+    driver.SetTracer(&obs->tracer);
+    if (!opt.sample_csv.empty()) {
+      // Started after the prefill so the series covers the measured phase;
+      // the sampler stops itself when the event queue drains.
+      obs->sampler.Start(&sim, static_cast<SimTime>(
+                                   opt.sample_interval_ms * 1e6));
+    }
+  }
   RunResult result;
   result.report =
       driver.Run(opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
@@ -265,6 +333,29 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
     result.degraded_writes = ms.degraded_writes;
     result.read_retries = ms.read_retries;
     result.write_retries = ms.write_retries;
+  }
+
+  if (obs != nullptr) {
+    if (!opt.trace_file.empty()) {
+      std::ostringstream out;
+      result.trace_spans = obs->tracer.ExportJson(
+          out, static_cast<int>(seed_offset), /*leading_comma=*/false);
+      result.trace_json = out.str();
+    }
+    if (!opt.sample_csv.empty()) {
+      std::ostringstream out;
+      obs->sampler.WriteCsv(out);
+      result.sample_csv = out.str();
+    }
+    if (opt.stats) {
+      result.histograms_json = obs->registry.HistogramSummaryJson();
+      std::ostringstream out;
+      for (const StatRegistry::Sample& s : obs->registry.Collect()) {
+        out << (s.kind == StatKind::kCounter ? "counter " : "gauge   ")
+            << *s.name << " " << s.value << "\n";
+      }
+      result.stats_text = out.str();
+    }
   }
   return result;
 }
@@ -391,6 +482,22 @@ int main(int argc, char** argv) {
       opt.fail_slow.push_back({device, mult});
     } else if (strcmp(argv[i], "--rebuild") == 0) {
       opt.rebuild = true;
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      opt.trace_file = value;
+    } else if (ParseFlag(argv[i], "--trace-start", &value)) {
+      opt.trace_start_s = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-end", &value)) {
+      opt.trace_end_s = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--sample-csv", &value)) {
+      opt.sample_csv = value;
+    } else if (ParseFlag(argv[i], "--sample-interval-ms", &value)) {
+      opt.sample_interval_ms = atof(value.c_str());
+      if (opt.sample_interval_ms <= 0) {
+        std::fprintf(stderr, "--sample-interval-ms must be > 0\n");
+        return 2;
+      }
+    } else if (strcmp(argv[i], "--stats") == 0) {
+      opt.stats = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n\n", argv[i]);
       PrintUsage();
@@ -431,6 +538,47 @@ int main(int argc, char** argv) {
     std::printf("mean over %d seeds: write %.1f MB/s  read %.1f MB/s  "
                 "WA %.3fx\n",
                 opt.seeds, mean_write / n, mean_read / n, mean_wa / n);
+  }
+
+  if (!opt.trace_file.empty()) {
+    std::ofstream out(opt.trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.trace_file.c_str());
+      return 1;
+    }
+    // One JSON array over all seeds: each seed's fragment carries its own
+    // pid, so Perfetto shows one process row per seed.
+    out << "[";
+    size_t total_spans = 0;
+    bool first = true;
+    for (const RunResult& r : results) {
+      if (r.trace_json.empty()) {
+        continue;
+      }
+      if (!first) {
+        out << ",\n";
+      }
+      first = false;
+      out << r.trace_json;
+      total_spans += r.trace_spans;
+    }
+    out << "]\n";
+    std::printf("trace: %zu spans -> %s (load in ui.perfetto.dev)\n",
+                total_spans, opt.trace_file.c_str());
+  }
+  if (!opt.sample_csv.empty()) {
+    std::ofstream out(opt.sample_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.sample_csv.c_str());
+      return 1;
+    }
+    out << results[0].sample_csv;
+    std::printf("time-series: seed 0 -> %s\n", opt.sample_csv.c_str());
+  }
+  if (opt.stats) {
+    std::printf("-- final stats (seed 0) --\n%s",
+                results[0].stats_text.c_str());
+    std::printf("BENCH_HISTOGRAMS %s\n", results[0].histograms_json.c_str());
   }
   return 0;
 }

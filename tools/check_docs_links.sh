@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Checks that intra-repo links in the top-level docs resolve: every
+# markdown link or inline-code path that points inside the repository must
+# name an existing file or directory. External links (http/https) and
+# pure anchors (#section) are skipped.
+#
+# Usage: tools/check_docs_links.sh  (exit 0 = all links resolve)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+docs=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+
+errors=0
+for doc in "${docs[@]}"; do
+  path="${repo_root}/${doc}"
+  [[ -f "${path}" ]] || { echo "MISSING DOC: ${doc}"; errors=$((errors+1)); continue; }
+
+  # 1. Markdown links: [text](target)
+  targets="$(grep -oE '\]\([^)]+\)' "${path}" | sed -E 's/^\]\(//; s/\)$//' || true)"
+  # 2. Inline code that looks like a repo path: `src/...`, `tests/...`, etc.
+  #    Only checked when it names a file with an extension or a known dir,
+  #    so prose like `--trace=FILE` is not flagged.
+  code_paths="$(grep -oE '`(src|tests|bench|tools|\.github)/[A-Za-z0-9_./-]+`' "${path}" \
+                  | tr -d '\`' || true)"
+
+  while IFS= read -r target; do
+    [[ -z "${target}" ]] && continue
+    case "${target}" in
+      http://*|https://*|\#*|mailto:*) continue ;;
+      *" "*) continue ;;  # prose in parentheses, not a link target
+    esac
+    # Strip trailing anchor (FILE.md#section).
+    file="${target%%#*}"
+    [[ -z "${file}" ]] && continue
+    # A bare binary name (bench/fig10_write_micro, tools/afa_bench) is
+    # satisfied by its source file.
+    if [[ ! -e "${repo_root}/${file}" && ! -e "${repo_root}/${file}.cc" ]]; then
+      echo "DEAD LINK in ${doc}: ${target}"
+      errors=$((errors+1))
+    fi
+  done <<< "${targets}
+${code_paths}"
+done
+
+if [[ "${errors}" -gt 0 ]]; then
+  echo "docs link check FAILED: ${errors} dead link(s)"
+  exit 1
+fi
+echo "docs link check OK (${#docs[@]} files)"

@@ -6,6 +6,9 @@
 #     implementation, median of --repetitions runs.
 #   - every figure/table bench binary: each prints one BENCH_METRIC JSON line
 #     (wall-clock seconds, simulated events, events/sec) via BenchMetricScope.
+#   - a reference afa_bench --stats run: its BENCH_HISTOGRAMS line (latency
+#     histogram summaries per layer: p50/p99/p99.9/max) lands in .histograms
+#     so latency-shape regressions show up next to the throughput numbers.
 #
 # Usage:
 #   tools/run_benches.sh             # sim_perf + all figure/table benches
@@ -39,6 +42,11 @@ if [[ "${quick}" -eq 1 && -f "${out_json}" ]]; then
   # Quick mode refreshes sim_perf only; keep the last full run's metrics.
   jq -r '.bench_metrics[]? | @json' "${out_json}" >> "${metric_lines}" || true
 fi
+histograms_json="${tmp_dir}/histograms.json"
+echo '{}' > "${histograms_json}"
+if [[ "${quick}" -eq 1 && -f "${out_json}" ]]; then
+  jq '.histograms // {}' "${out_json}" > "${histograms_json}" || true
+fi
 if [[ "${quick}" -eq 0 ]]; then
   for bench in "${build_dir}"/bench/*; do
     name="$(basename "${bench}")"
@@ -50,18 +58,29 @@ if [[ "${quick}" -eq 0 ]]; then
     "${bench}" | tee "${tmp_dir}/${name}.out" | grep '^BENCH_METRIC ' \
       | sed 's/^BENCH_METRIC //' >> "${metric_lines}" || true
   done
+
+  # Reference latency-histogram snapshot: one fixed BIZA run with the stat
+  # registry attached. The BENCH_HISTOGRAMS line carries per-layer latency
+  # summaries (p50/p99/p99.9/max in us) into .histograms.
+  echo "== afa_bench --stats (latency histograms) =="
+  "${build_dir}/tools/afa_bench" --platform=BIZA --workload=casa \
+    --requests=20000 --seconds=1 --stats \
+    | tee "${tmp_dir}/afa_bench_stats.out" | grep '^BENCH_HISTOGRAMS ' \
+    | sed 's/^BENCH_HISTOGRAMS //' > "${histograms_json}" || true
 fi
 
 jq -n \
   --slurpfile perf "${tmp_dir}/sim_perf.json" \
   --slurpfile metrics <(cat "${metric_lines}" 2>/dev/null; true) \
+  --slurpfile hist "${histograms_json}" \
   '{
      generated_by: "tools/run_benches.sh",
      sim_perf: ($perf[0].benchmarks
                 | map(select(.run_type == "aggregate" and
                              .aggregate_name == "median")
                       | {name, items_per_second})),
-     bench_metrics: $metrics
+     bench_metrics: $metrics,
+     histograms: ($hist[0] // {})
    }' > "${out_json}"
 
 echo "wrote ${out_json}"
