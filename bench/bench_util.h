@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rss.h"
 #include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
 #include "src/testbed/platforms.h"
@@ -26,10 +27,24 @@
 
 namespace biza {
 
-// The standard scaled-down 4 x ZN540 testbed: 96 zones x 8 MiB per SSD.
+// BIZA_FULL_GEOMETRY=1 swaps every bench testbed for the real ZN540 layout
+// (904 zones x 1077 MiB per SSD). Sparse zone state keeps resident memory
+// proportional to written data, so the figures run at true scale; expect
+// longer wall-clock since workloads push proportionally more data.
+inline bool FullGeometryEnabled() {
+  const char* env = std::getenv("BIZA_FULL_GEOMETRY");
+  return env != nullptr && env[0] == '1';
+}
+
+// The standard 4 x ZN540 testbed: scaled down to 96 zones x 8 MiB per SSD by
+// default, the full ZN540 geometry under BIZA_FULL_GEOMETRY=1.
 inline PlatformConfig BenchConfig(uint64_t seed = 1) {
   PlatformConfig config;
-  config.zns = ZnsConfig::Zn540(/*num_zones=*/96, /*zone_capacity_blocks=*/2048);
+  config.zns = FullGeometryEnabled()
+                   ? ZnsConfig::Zn540(ZnsConfig::kFullZn540Zones,
+                                      ZnsConfig::kFullZn540ZoneBlocks)
+                   : ZnsConfig::Zn540(/*num_zones=*/96,
+                                      /*zone_capacity_blocks=*/2048);
   config.MatchConvCapacity();
   config.seed = seed;
   return config;
@@ -38,7 +53,11 @@ inline PlatformConfig BenchConfig(uint64_t seed = 1) {
 // A larger testbed for throughput experiments (less GC interference).
 inline PlatformConfig ThroughputConfig(uint64_t seed = 1) {
   PlatformConfig config;
-  config.zns = ZnsConfig::Zn540(/*num_zones=*/128, /*zone_capacity_blocks=*/6144);
+  config.zns = FullGeometryEnabled()
+                   ? ZnsConfig::Zn540(ZnsConfig::kFullZn540Zones,
+                                      ZnsConfig::kFullZn540ZoneBlocks)
+                   : ZnsConfig::Zn540(/*num_zones=*/128,
+                                      /*zone_capacity_blocks=*/6144);
   config.MatchConvCapacity();
   config.seed = seed;
   return config;
@@ -148,9 +167,23 @@ inline std::atomic<uint64_t>& FiredEventCounter() {
   return counter;
 }
 
+// Host bytes moved by the simulated workloads (writes + reads), summed across
+// experiment jobs. Feeds the rss_mb_per_sim_gib figure of merit: peak host
+// memory per simulated GiB of user I/O.
+inline std::atomic<uint64_t>& SimulatedBytesCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
 // Call at the end of every experiment job (thread-safe).
 inline void RecordSimEvents(const Simulator& sim) {
   FiredEventCounter().fetch_add(sim.fired_events(), std::memory_order_relaxed);
+}
+
+inline void RecordSimEvents(const Simulator& sim, const DriverReport& report) {
+  RecordSimEvents(sim);
+  SimulatedBytesCounter().fetch_add(report.bytes_written + report.bytes_read,
+                                    std::memory_order_relaxed);
 }
 
 class BenchMetricScope {
@@ -163,12 +196,19 @@ class BenchMetricScope {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
     const uint64_t events = FiredEventCounter().load(std::memory_order_relaxed);
+    const uint64_t sim_bytes =
+        SimulatedBytesCounter().load(std::memory_order_relaxed);
+    const double rss_mb = static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+    const double sim_gib =
+        static_cast<double>(sim_bytes) / (1024.0 * 1024.0 * 1024.0);
     std::printf(
         "\nBENCH_METRIC {\"bench\":\"%s\",\"wall_s\":%.3f,\"events\":%llu,"
-        "\"events_per_s\":%.0f,\"threads\":%d}\n",
+        "\"events_per_s\":%.0f,\"threads\":%d,\"full_geometry\":%d,"
+        "\"rss_peak_mb\":%.1f,\"sim_gib\":%.3f,\"rss_mb_per_sim_gib\":%.2f}\n",
         id_, wall_s, static_cast<unsigned long long>(events),
         wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0,
-        DefaultExperimentThreads());
+        DefaultExperimentThreads(), FullGeometryEnabled() ? 1 : 0, rss_mb,
+        sim_gib, sim_gib > 0 ? rss_mb / sim_gib : 0.0);
   }
 
  private:

@@ -46,7 +46,7 @@ Cell RunCase(PlatformKind kind, bool sequential, uint64_t req_blocks,
   Cell cell;
   cell.mbps = report.WriteMBps();
   cell.avg_us = report.write_latency.Mean() / 1e3;
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return cell;
 }
 

@@ -24,7 +24,7 @@ double RunCase(PlatformKind kind, uint64_t req_blocks, uint64_t seed) {
                          footprint, 7 + seed);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(200000, kSecond / 2);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return report.ReadMBps();
 }
 

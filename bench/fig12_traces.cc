@@ -24,7 +24,7 @@ double RunTrace(PlatformKind kind, TraceProfile profile, uint64_t seed) {
   SyntheticTrace trace(profile);
   Driver driver(&sim, platform->block(), &trace, /*iodepth=*/32);
   const DriverReport report = driver.Run(60000, kSecond / 2);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return report.TotalMBps();
 }
 

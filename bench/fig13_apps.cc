@@ -28,7 +28,7 @@ double RunApp(PlatformKind kind, AppProfile profile, uint64_t seed) {
   AppWorkload workload(profile);
   Driver driver(&sim, platform->block(), &workload, /*iodepth=*/32);
   const DriverReport report = driver.Run(40000, kSecond / 2);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return report.TotalMBps();
 }
 

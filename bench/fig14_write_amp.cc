@@ -53,7 +53,7 @@ WaCell RunWa(PlatformKind kind, const TraceProfile& profile, uint64_t seed) {
 
   const WaBreakdown wa =
       platform->CollectWa(report.bytes_written / kBlockSize);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return WaCell{wa.DataRatio(), wa.ParityRatio()};
 }
 

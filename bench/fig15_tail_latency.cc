@@ -46,7 +46,7 @@ TailResult RunCase(PlatformKind kind, uint64_t req_blocks, int iodepth,
   const uint64_t max_requests =
       force_gc ? 25000 : std::min<uint64_t>(25000, footprint / req_blocks);
   const DriverReport report = driver.Run(max_requests, 4 * kSecond);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return TailResult{
       static_cast<double>(report.write_latency.Percentile(99)) / 1e3,
       static_cast<double>(report.write_latency.Percentile(99.99)) / 1e3};

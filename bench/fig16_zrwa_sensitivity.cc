@@ -40,7 +40,7 @@ Cell RunSize(const TraceProfile& profile, uint32_t zrwa_blocks,
   platform->Quiesce(&sim);
 
   const WaBreakdown wa = platform->CollectWa(report.bytes_written / kBlockSize);
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return Cell{wa.DataRatio(), wa.ParityRatio()};
 }
 

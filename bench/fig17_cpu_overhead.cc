@@ -42,7 +42,7 @@ CpuCase RunCase(PlatformKind kind, uint64_t req_blocks, uint64_t seed) {
   result.mbps = report.WriteMBps();
   result.usage_pct =
       static_cast<double>(total_ns) / static_cast<double>(elapsed) * 100.0;
-  RecordSimEvents(sim);
+  RecordSimEvents(sim, report);
   return result;
 }
 

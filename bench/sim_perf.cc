@@ -8,6 +8,7 @@
 // BENCH_sim.json and records the events/sec trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -16,6 +17,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
+#include "src/zns/zns_device.h"
 
 namespace biza {
 namespace {
@@ -196,6 +198,41 @@ void BM_ScheduleDrain_PooledBigCapture(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
 }
 BENCHMARK(BM_ScheduleDrain_PooledBigCapture)->Unit(benchmark::kMillisecond);
+
+// Full-geometry device sweep: stream one real ZN540 zone (1077 MiB) through
+// a full-capacity device, then reset it. Exercises the sparse-chunk
+// allocate / bulk-free path and the batched per-command event cost at true
+// zone size — the fixed cost the --full-geometry figure sweeps pay per zone.
+void BM_FullGeometryZoneWrite(benchmark::State& state) {
+  const uint64_t kCmdBlocks = 1024;
+  for (auto _ : state) {
+    Simulator sim;
+    const ZnsConfig config = ZnsConfig::Zn540(ZnsConfig::kFullZn540Zones,
+                                              ZnsConfig::kFullZn540ZoneBlocks);
+    ZnsDevice dev(&sim, config);
+    const uint64_t total = config.zone_capacity_blocks;
+    uint64_t offset = 0;
+    std::function<void()> pump = [&]() {
+      if (offset >= total) {
+        return;
+      }
+      const uint64_t n = std::min<uint64_t>(kCmdBlocks, total - offset);
+      const uint64_t at = offset;
+      offset += n;
+      std::vector<uint64_t> patterns(static_cast<size_t>(n), at ^ 0x5aULL);
+      dev.SubmitWrite(0, at, std::move(patterns), {},
+                      [&pump](const Status&) { pump(); });
+    };
+    pump();
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(dev.ResidentStateBytes());
+    (void)dev.ResetZone(0);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(ZnsConfig::kFullZn540ZoneBlocks));
+}
+BENCHMARK(BM_FullGeometryZoneWrite)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace biza

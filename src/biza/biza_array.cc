@@ -48,7 +48,6 @@ BizaArray::BizaArray(Simulator* sim, std::vector<ZnsDevice*> devices,
   // (k of every n physical blocks hold data; the rest hold parity)
   exposed_blocks_ = static_cast<uint64_t>(
       static_cast<double>(data_blocks) * config_.exposed_capacity_ratio);
-  bmt_.assign(exposed_blocks_, BmtEntry{});
 
   zones_.resize(static_cast<size_t>(n_));
   groups_.resize(static_cast<size_t>(n_));
@@ -452,34 +451,35 @@ void BizaArray::InvalidatePa(uint64_t pa) {
 }
 
 void BizaArray::InvalidateChunk(uint64_t lbn) {
-  BmtEntry& entry = bmt_[lbn];
-  if (entry.pa == kInvalidPa) {
+  // Find() keeps the entry pointer stable: nothing below inserts into bmt_.
+  BmtEntry* entry = bmt_.Find(lbn);
+  if (entry == nullptr || entry->pa == kInvalidPa) {
     return;
   }
-  InvalidatePa(entry.pa);
-  StripeInfo& stripe = stripes_[entry.sn];
-  assert(stripe.live > 0);
-  stripe.live--;
-  if (stripe.live == 0) {
+  InvalidatePa(entry->pa);
+  const uint32_t sn = entry->sn;
+  uint32_t& live = stripe_live_[sn];
+  assert(live > 0);
+  live--;
+  if (live == 0) {
     // The stripe's last live chunk died: its parities are garbage now.
     for (int row = 0; row < m_; ++row) {
-      uint64_t& ppa = stripe.parity_pa[static_cast<size_t>(row)];
+      const uint64_t ppa = SmtAt(sn, row);
       if (ppa != kInvalidPa) {
         InvalidatePa(ppa);
-        ppa = kInvalidPa;
-        SmtSet(entry.sn, row, kInvalidPa);
+        SmtSet(sn, row, kInvalidPa);
       }
     }
     // A still-open builder of this stripe must forget the dead parity, or
     // its next refresh would invalidate the same block a second time.
     for (auto& builder : builders_) {
-      if (builder.open && builder.sn == entry.sn) {
+      if (builder.open && builder.sn == sn) {
         builder.parity_pa.assign(static_cast<size_t>(m_), kInvalidPa);
         break;
       }
     }
   }
-  entry.pa = kInvalidPa;
+  entry->pa = kInvalidPa;
 }
 
 void BizaArray::RecordCompletion(int device, uint32_t zone,
@@ -514,8 +514,32 @@ struct BizaArray::WriteJoin {
 
 void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                             WriteCallback cb, WriteTag tag) {
+  DoSubmitWrite(lbn, {}, std::move(patterns), std::move(cb), tag);
+}
+
+void BizaArray::SubmitWriteGather(std::vector<uint64_t> lbns,
+                                  std::vector<uint64_t> patterns,
+                                  WriteCallback cb, WriteTag tag) {
+  assert(lbns.size() == patterns.size());
+  const uint64_t base = lbns.empty() ? 0 : lbns[0];
+  DoSubmitWrite(base, std::move(lbns), std::move(patterns), std::move(cb),
+                tag);
+}
+
+void BizaArray::DoSubmitWrite(uint64_t lbn, std::vector<uint64_t> gather_lbns,
+                              std::vector<uint64_t> patterns, WriteCallback cb,
+                              WriteTag tag) {
+  const bool gather = !gather_lbns.empty();
   const uint64_t nblocks = patterns.size();
-  if (nblocks == 0 || lbn + nblocks > exposed_blocks_) {
+  bool in_range = nblocks > 0;
+  if (gather) {
+    for (uint64_t target : gather_lbns) {
+      in_range = in_range && target < exposed_blocks_;
+    }
+  } else {
+    in_range = in_range && lbn + nblocks <= exposed_blocks_;
+  }
+  if (!in_range) {
     cb(OutOfRangeError("biza write beyond exposed capacity"));
     return;
   }
@@ -585,7 +609,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
   };
 
   for (uint64_t i = 0; i < nblocks; ++i) {
-    const uint64_t target = lbn + i;
+    const uint64_t target = gather ? gather_lbns[i] : lbn + i;
     const uint64_t pattern = patterns[i];
 
     // 1. Classify via the ghost caches (zone group selector, §4.2). GC
@@ -621,7 +645,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     // 2. In-place ZRWA update when both the chunk and its stripe parity are
     //    still inside their sliding windows (§4.1's relaxation).
     cpu_.Charge("biza", config_.costs.map_lookup_ns);
-    BmtEntry& entry = bmt_[target];
+    const BmtEntry entry = BmtGet(target);
     // Stripes awaiting rebuild are pinned out-of-place: an in-place update
     // would keep the stale stripe alive and the rebuild sweep could never
     // drain it. Chunks on a dead member can't be updated in place either.
@@ -630,7 +654,6 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
       ZoneScheduler* dsched = SchedOf(entry.pa);
       const uint64_t doff = PaOffset(entry.pa);
       if (dsched != nullptr && dsched->CanUpdateInPlace(doff)) {
-        StripeInfo& stripe = stripes_[entry.sn];
         // Builder case: the stripe is still being built — refresh its
         // pattern so the eventual parity covers the new content; the PP
         // refresh at the end of this request picks it up.
@@ -678,7 +701,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
         // parities (linearity of the code makes each a local recompute).
         bool all_parities_updatable = true;
         for (int row = 0; row < m_; ++row) {
-          const uint64_t ppa = stripe.parity_pa[static_cast<size_t>(row)];
+          const uint64_t ppa = SmtAt(entry.sn, row);
           ZoneScheduler* psched = SchedOf(ppa);
           if (psched == nullptr ||
               device_failed_[static_cast<size_t>(PaDevice(ppa))] ||
@@ -712,7 +735,7 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                 release();
               });
           for (int row = 0; row < m_; ++row) {
-            const uint64_t ppa = stripe.parity_pa[static_cast<size_t>(row)];
+            const uint64_t ppa = SmtAt(entry.sn, row);
             ZoneScheduler* psched = SchedOf(ppa);
             const uint64_t poff = PaOffset(ppa);
             const uint64_t old_parity = psched->PatternAt(poff);
@@ -751,7 +774,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
       builder.degraded = false;
       builder.sn = next_sn_++;
       builder.patterns.clear();
+      builder.patterns.reserve(static_cast<size_t>(k_));
       builder.lbns.clear();
+      builder.lbns.reserve(static_cast<size_t>(k_));
       builder.parity_devices.assign(static_cast<size_t>(m_), -1);
       builder.parity_pa.assign(static_cast<size_t>(m_), kInvalidPa);
       for (int row = 0; row < m_; ++row) {
@@ -761,9 +786,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
       for (int row = 0; row < m_; ++row) {
         smt_.push_back(kInvalidPa);
       }
-      stripes_.push_back(StripeInfo{
-          std::vector<uint64_t>(static_cast<size_t>(k_), kInvalidPa),
-          std::vector<uint64_t>(static_cast<size_t>(m_), kInvalidPa), 0});
+      stripe_data_pa_.insert(stripe_data_pa_.end(), static_cast<size_t>(k_),
+                             kInvalidPa);
+      stripe_live_.push_back(0);
       assert(smt_.size() ==
              static_cast<size_t>(next_sn_) * static_cast<size_t>(m_));
     }
@@ -780,10 +805,9 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
       cpu_.Charge("biza", config_.costs.map_update_ns);
       InvalidateChunk(target);
       const uint64_t pa = PhantomPa(device);
-      bmt_[target] = BmtEntry{pa, builder.sn};
-      StripeInfo& phantom_stripe = stripes_[builder.sn];
-      phantom_stripe.data_pa[static_cast<size_t>(slot)] = pa;
-      phantom_stripe.live++;
+      BmtSet(target, BmtEntry{pa, builder.sn});
+      SetStripeDataPa(builder.sn, slot, pa);
+      stripe_live_[builder.sn]++;
       builder.patterns.push_back(pattern);
       builder.lbns.push_back(target);
       builder.degraded = true;
@@ -825,19 +849,25 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
         const uint64_t rem_lbn = lbn + i;
         std::vector<uint64_t> rem(patterns.begin() + static_cast<long>(i),
                                   patterns.end());
+        std::vector<uint64_t> rem_lbns;
+        if (gather) {
+          rem_lbns.assign(gather_lbns.begin() + static_cast<long>(i),
+                          gather_lbns.end());
+        }
         stats_.user_written_blocks -= rem.size();  // retry re-counts them
         stats_.write_stalls++;
         join->pending++;
         stalled_writes_.push_back(
-            [this, rem_lbn, rem = std::move(rem), tag, join]() mutable {
-              SubmitWrite(rem_lbn, std::move(rem),
-                          [join](const Status& status) {
-                            if (!status.ok()) {
-                              join->Fail(status);
-                            }
-                            join->Release();
-                          },
-                          tag);
+            [this, rem_lbn, rem_lbns = std::move(rem_lbns),
+             rem = std::move(rem), tag, join]() mutable {
+              DoSubmitWrite(rem_lbn, std::move(rem_lbns), std::move(rem),
+                            [join](const Status& status) {
+                              if (!status.ok()) {
+                                join->Fail(status);
+                              }
+                              join->Release();
+                            },
+                            tag);
             });
         ArmStallTimer();
         break;
@@ -849,11 +879,10 @@ void BizaArray::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
 
     cpu_.Charge("biza", config_.costs.map_update_ns);
     InvalidateChunk(target);
-    bmt_[target] = BmtEntry{pa, builder.sn};
+    BmtSet(target, BmtEntry{pa, builder.sn});
     ZoneOf(device, sched->zone()).valid++;
-    StripeInfo& stripe = stripes_[builder.sn];
-    stripe.data_pa[static_cast<size_t>(slot)] = pa;
-    stripe.live++;
+    SetStripeDataPa(builder.sn, slot, pa);
+    stripe_live_[builder.sn]++;
 
     builder.patterns.push_back(pattern);
     builder.lbns.push_back(target);
@@ -935,7 +964,6 @@ void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag,
       }
       ppa = kInvalidPa;
       SmtSet(builder.sn, row, kInvalidPa);
-      stripes_[builder.sn].parity_pa[static_cast<size_t>(row)] = kInvalidPa;
       continue;
     }
     ZoneScheduler* psched = SchedOf(ppa);
@@ -981,7 +1009,6 @@ void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag,
         BIZA_LOG_ERROR("biza: no parity zone available on device %d", pdevice);
         ppa = kInvalidPa;
         SmtSet(builder.sn, row, kInvalidPa);
-        stripes_[builder.sn].parity_pa[static_cast<size_t>(row)] = kInvalidPa;
         continue;
       }
       const uint64_t off = sched->Allocate(1);
@@ -1011,7 +1038,6 @@ void BizaArray::WriteStripeParity(StripeBuilder& builder, WriteTag tag,
           });
     }
     SmtSet(builder.sn, row, ppa);
-    stripes_[builder.sn].parity_pa[static_cast<size_t>(row)] = ppa;
   }
   if (final) {
     builder.open = false;
@@ -1063,7 +1089,7 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   uint64_t i = 0;
   while (i < nblocks) {
     cpu_.Charge("biza", config_.costs.map_lookup_ns);
-    const BmtEntry entry = bmt_[lbn + i];
+    const BmtEntry entry = BmtGet(lbn + i);
     if (entry.pa == kInvalidPa) {
       state->out[i] = 0;
       i++;
@@ -1077,13 +1103,12 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       stats_.degraded_reads++;
       cpu_.Charge("biza", config_.costs.parity_xor_ns_per_kib *
                               (kBlockSize / kKiB) * static_cast<SimTime>(k_));
-      const StripeInfo& stripe = stripes_[entry.sn];
       const uint64_t out_at = i;
       state->pending++;
       if (m_ == 1) {
-        if (stripe.parity_pa[0] == kInvalidPa ||
-            device_failed_[static_cast<size_t>(
-                PaDevice(stripe.parity_pa[0]))]) {
+        const uint64_t parity0 = SmtAt(entry.sn, 0);
+        if (parity0 == kInvalidPa ||
+            device_failed_[static_cast<size_t>(PaDevice(parity0))]) {
           // No surviving parity: the chunk is unrecoverable.
           if (state->error.ok()) {
             state->error = DataLossError("biza: degraded read without parity");
@@ -1104,13 +1129,14 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
           release();
         };
         std::vector<uint64_t> members;
-        for (uint64_t pa : stripe.data_pa) {
+        for (int slot = 0; slot < k_; ++slot) {
+          const uint64_t pa = StripeDataPa(entry.sn, slot);
           if (pa != kInvalidPa && !IsPhantomPa(pa) && pa != entry.pa &&
               !device_failed_[static_cast<size_t>(PaDevice(pa))]) {
             members.push_back(pa);
           }
         }
-        members.push_back(stripe.parity_pa[0]);
+        members.push_back(parity0);
         for (uint64_t pa : members) {
           recon->pending++;
           DeviceRead(PaDevice(pa), pa, 1, 0,
@@ -1169,7 +1195,7 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       };
       recon->present[static_cast<size_t>(recon->target_slot)] = false;
       for (int slot = 0; slot < k_; ++slot) {
-        const uint64_t pa = stripe.data_pa[static_cast<size_t>(slot)];
+        const uint64_t pa = StripeDataPa(entry.sn, slot);
         if (slot == recon->target_slot || pa == kInvalidPa) {
           continue;  // target erasure, or zero-padded unfilled slot
         }
@@ -1191,7 +1217,7 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
                    });
       }
       for (int row = 0; row < m_; ++row) {
-        const uint64_t pa = stripe.parity_pa[static_cast<size_t>(row)];
+        const uint64_t pa = SmtAt(entry.sn, row);
         const size_t shard = static_cast<size_t>(k_ + row);
         if (pa == kInvalidPa ||
             device_failed_[static_cast<size_t>(PaDevice(pa))]) {
@@ -1217,8 +1243,11 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
 
     // Merge a physically-contiguous run (same device and zone).
     uint64_t run = 1;
-    while (i + run < nblocks && bmt_[lbn + i + run].pa == entry.pa + run &&
-           PaZone(bmt_[lbn + i + run].pa) == PaZone(entry.pa)) {
+    while (i + run < nblocks) {
+      const uint64_t next_pa = BmtGet(lbn + i + run).pa;
+      if (next_pa != entry.pa + run || PaZone(next_pa) != PaZone(entry.pa)) {
+        break;
+      }
       run++;
     }
     state->pending++;
@@ -1242,12 +1271,12 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
             stats_.user_read_blocks -= run;  // re-dispatch re-counts them
             SubmitRead(run_lbn, run,
                        [state, out_at, release](const Status& s,
-                                                std::vector<uint64_t> pats) {
+                                                std::vector<uint64_t> rpats) {
                          if (!s.ok() && state->error.ok()) {
                            state->error = s;
                          }
-                         for (size_t j = 0; j < pats.size(); ++j) {
-                           state->out[out_at + j] = pats[j];
+                         for (size_t j = 0; j < rpats.size(); ++j) {
+                           state->out[out_at + j] = rpats[j];
                          }
                          release();
                        });
@@ -1328,24 +1357,40 @@ Status BizaArray::ReplaceDevice(int device, ZnsDevice* replacement) {
   // the rebuilder re-homes its live chunks through the normal write path so
   // the whole stale stripe — phantoms included — dies, which is why the
   // replacement never needs direct parity reconstruction writes.
-  rebuild_touched_.assign(stripes_.size(), 0);
+  rebuild_touched_.assign(stripe_live_.size(), 0);
   for (uint32_t sn = 0; sn < next_sn_; ++sn) {
-    StripeInfo& stripe = stripes_[sn];
     for (int slot = 0; slot < k_; ++slot) {
-      uint64_t& pa = stripe.data_pa[static_cast<size_t>(slot)];
+      const uint64_t pa = StripeDataPa(sn, slot);
       if (pa == kInvalidPa || PaDevice(pa) != device) {
         continue;
       }
       if (!IsPhantomPa(pa)) {
-        pa = PhantomPa(device);
+        SetStripeDataPa(sn, slot, PhantomPa(device));
       }
       rebuild_touched_[sn] = 1;
     }
     for (int row = 0; row < m_; ++row) {
-      uint64_t& ppa = stripe.parity_pa[static_cast<size_t>(row)];
+      const uint64_t ppa = SmtAt(sn, row);
       if (ppa != kInvalidPa && PaDevice(ppa) == device) {
-        ppa = kInvalidPa;
         SmtSet(sn, row, kInvalidPa);
+        rebuild_touched_[sn] = 1;
+      }
+    }
+    // A stripe written while a member was down may hold a phantom data
+    // chunk or an unwritten parity row without holding any PA on the
+    // replaced device (a dead parity member's row is never written, so
+    // there is no PA to see). Such stripes run below full redundancy:
+    // re-home them too, or the array stays silently degraded after every
+    // member has been replaced.
+    if (rebuild_touched_[sn] == 0 && stripe_live_[sn] > 0) {
+      bool below_redundancy = false;
+      for (int slot = 0; slot < k_ && !below_redundancy; ++slot) {
+        below_redundancy = IsPhantomPa(StripeDataPa(sn, slot));
+      }
+      for (int row = 0; row < m_ && !below_redundancy; ++row) {
+        below_redundancy = SmtAt(sn, row) == kInvalidPa;
+      }
+      if (below_redundancy) {
         rebuild_touched_[sn] = 1;
       }
     }
@@ -1361,21 +1406,22 @@ Status BizaArray::ReplaceDevice(int device, ZnsDevice* replacement) {
       }
     }
   }
-  for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
-    BmtEntry& entry = bmt_[lbn];
+  bmt_.ForEach([&](uint64_t, BmtEntry& entry) {
     if (entry.pa != kInvalidPa && !IsPhantomPa(entry.pa) &&
         PaDevice(entry.pa) == device) {
       entry.pa = PhantomPa(device);
     }
-  }
+  });
   rebuild_queue_.clear();
   rebuild_cursor_ = 0;
-  for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
-    const BmtEntry& entry = bmt_[lbn];
+  // Hash order is not lbn order: collect then sort so the rebuilder sweeps
+  // ascending lbn exactly as the dense table did (determinism + run merging).
+  bmt_.ForEach([&](uint64_t lbn, const BmtEntry& entry) {
     if (entry.pa != kInvalidPa && rebuild_touched_[entry.sn] != 0) {
       rebuild_queue_.push_back(lbn);
     }
-  }
+  });
+  std::sort(rebuild_queue_.begin(), rebuild_queue_.end());
 
   // Fresh bookkeeping for the (empty) replacement.
   for (DevZone& z : zones_[static_cast<size_t>(device)]) {
@@ -1415,12 +1461,12 @@ void BizaArray::RebuildStep() {
     rebuild_queue_.clear();
     rebuild_cursor_ = 0;
     rebuild_.passes++;
-    for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
-      const BmtEntry& entry = bmt_[lbn];
+    bmt_.ForEach([&](uint64_t lbn, const BmtEntry& entry) {
       if (entry.pa != kInvalidPa && StripeNeedsRebuild(entry.sn)) {
         rebuild_queue_.push_back(lbn);
       }
-    }
+    });
+    std::sort(rebuild_queue_.begin(), rebuild_queue_.end());
     if (rebuild_queue_.empty()) {
       FinishRebuild();
       return;
@@ -1445,11 +1491,87 @@ void BizaArray::RebuildStep() {
     }
   };
   auto batch = std::make_shared<BatchJoin>(this);
+  if (config_.batched_gc_io) {
+    // Snapshot the batch's still-eligible queue entries, read them with one
+    // array read per contiguous-lbn run, and re-home every surviving chunk
+    // through a single gather write — one stripe-append burst and one parity
+    // refresh instead of one array request per chunk.
+    std::vector<std::pair<uint64_t, BmtEntry>> items;
+    while (rebuild_cursor_ < rebuild_queue_.size() &&
+           items.size() < config_.rebuild_batch_stripes) {
+      const uint64_t lbn = rebuild_queue_[rebuild_cursor_++];
+      const BmtEntry entry = BmtGet(lbn);
+      if (entry.pa == kInvalidPa || !StripeNeedsRebuild(entry.sn)) {
+        continue;  // overwritten or already re-homed
+      }
+      items.emplace_back(lbn, entry);
+    }
+    // The gather flushes when the last run-read callback releases it; the
+    // write callback then keeps the BatchJoin alive until the migration
+    // lands, preserving the legacy throttle timing.
+    struct RebuildGather {
+      BizaArray* array;
+      std::shared_ptr<BatchJoin> batch;
+      std::vector<uint64_t> lbns;
+      std::vector<uint64_t> patterns;
+      ~RebuildGather() {
+        if (lbns.empty()) {
+          return;
+        }
+        array->rebuild_.chunks_migrated += lbns.size();
+        auto b = batch;
+        array->SubmitWriteGather(std::move(lbns), std::move(patterns),
+                                 [b](const Status&) {}, WriteTag::kGcData);
+      }
+    };
+    auto gather = std::make_shared<RebuildGather>();
+    gather->array = this;
+    gather->batch = batch;
+    uint64_t idx = 0;
+    while (idx < items.size()) {
+      uint64_t run = 1;
+      while (idx + run < items.size() &&
+             items[idx + run].first == items[idx].first + run) {
+        run++;
+      }
+      const uint64_t start_lbn = items[idx].first;
+      std::vector<BmtEntry> snap(run);
+      for (uint64_t j = 0; j < run; ++j) {
+        snap[j] = items[idx + j].second;
+      }
+      SubmitRead(
+          start_lbn, run,
+          [this, gather, start_lbn, snap = std::move(snap)](
+              const Status& status, std::vector<uint64_t> patterns) {
+            for (size_t j = 0; j < snap.size(); ++j) {
+              const uint64_t lbn = start_lbn + j;
+              uint64_t pattern = 0;
+              if (status.ok() && j < patterns.size()) {
+                pattern = patterns[j];
+              } else {
+                // Unrecoverable chunk (e.g. a second failure under rebuild):
+                // re-home zeros so the rebuild still terminates, and shout.
+                BIZA_LOG_ERROR("rebuild: lbn %llu unreadable (%s) — data loss",
+                               static_cast<unsigned long long>(lbn),
+                               status.ToString().c_str());
+              }
+              const BmtEntry now = BmtGet(lbn);
+              if (now.pa != snap[j].pa || now.sn != snap[j].sn) {
+                continue;  // overwritten while the read was in flight
+              }
+              gather->lbns.push_back(lbn);
+              gather->patterns.push_back(pattern);
+            }
+          });
+      idx += run;
+    }
+    return;
+  }
   uint64_t dispatched = 0;
   while (rebuild_cursor_ < rebuild_queue_.size() &&
          dispatched < config_.rebuild_batch_stripes) {
     const uint64_t lbn = rebuild_queue_[rebuild_cursor_++];
-    const BmtEntry entry = bmt_[lbn];
+    const BmtEntry entry = BmtGet(lbn);
     if (entry.pa == kInvalidPa || !StripeNeedsRebuild(entry.sn)) {
       continue;  // overwritten or already re-homed
     }
@@ -1468,7 +1590,7 @@ void BizaArray::RebuildStep() {
                            static_cast<unsigned long long>(lbn),
                            status.ToString().c_str());
           }
-          const BmtEntry& now = bmt_[lbn];
+          const BmtEntry now = BmtGet(lbn);
           if (now.pa != entry.pa || now.sn != entry.sn) {
             return;  // overwritten while the read was in flight
           }
@@ -1760,6 +1882,12 @@ void BizaArray::GcStep() {
   };
   std::vector<Item> batch;
   while (gc_scan_ < zone_cap_ && batch.size() < config_.gc_batch_blocks) {
+    // Hop over never-written regions chunk-by-chunk instead of probing every
+    // offset (the probes would return !ok anyway).
+    gc_scan_ = dev->NextWrittenCandidate(gc_victim_zone_, gc_scan_);
+    if (gc_scan_ >= zone_cap_) {
+      break;
+    }
     const uint64_t off = gc_scan_++;
     auto oob = dev->ReadOobSync(gc_victim_zone_, off);
     if (!oob.ok()) {
@@ -1779,7 +1907,7 @@ void BizaArray::GcStep() {
       if (live) {
         batch.push_back(Item{off, *oob});
       }
-    } else if (oob->lbn < exposed_blocks_ && bmt_[oob->lbn].pa == pa) {
+    } else if (oob->lbn < exposed_blocks_ && BmtGet(oob->lbn).pa == pa) {
       batch.push_back(Item{off, *oob});
     }
   }
@@ -1822,6 +1950,10 @@ void BizaArray::GcStep() {
     };
     auto mjoin = std::make_shared<MigrateJoin>(this);
 
+    // Batched mode collects the batch's surviving data chunks and re-homes
+    // them with one gather write (one partial-parity refresh) after the loop.
+    std::vector<uint64_t> gather_lbns;
+    std::vector<uint64_t> gather_patterns;
     uint64_t rescan = zone_cap_;
     for (size_t idx = 0; idx < gc_batch->items.size(); ++idx) {
       if (gc_batch->ok[idx] == 0) {
@@ -1861,7 +1993,6 @@ void BizaArray::GcStep() {
         InvalidatePa(pa);
         ZoneOf(gc_device_, sched->zone()).valid++;
         SmtSet(item.oob.sn, row, new_pa);
-        stripes_[item.oob.sn].parity_pa[static_cast<size_t>(row)] = new_pa;
         // If the stripe is still being built, its builder must follow the
         // move, or it would later invalidate a stale PA (and corrupt the
         // valid count of whatever zone recycled into that slot).
@@ -1886,30 +2017,52 @@ void BizaArray::GcStep() {
               MaybeFinishSeal(device, zone);
             });
       } else {
-        if (bmt_[item.oob.lbn].pa != pa) {
+        if (BmtGet(item.oob.lbn).pa != pa) {
           continue;  // overwritten while the batch was reading
         }
         stats_.gc_migrated_data++;
-        SubmitWrite(item.oob.lbn, {pattern},
-                    [mjoin](const Status&) {}, WriteTag::kGcData);
+        if (config_.batched_gc_io) {
+          gather_lbns.push_back(item.oob.lbn);
+          gather_patterns.push_back(pattern);
+        } else {
+          SubmitWrite(item.oob.lbn, {pattern},
+                      [mjoin](const Status&) {}, WriteTag::kGcData);
+        }
       }
+    }
+    if (!gather_lbns.empty()) {
+      SubmitWriteGather(std::move(gather_lbns), std::move(gather_patterns),
+                        [mjoin](const Status&) {}, WriteTag::kGcData);
     }
     if (rescan < zone_cap_) {
       gc_scan_ = std::min<uint64_t>(gc_scan_, rescan);
     }
   };
 
-  for (size_t idx = 0; idx < gc_batch->items.size(); ++idx) {
+  for (size_t idx = 0; idx < gc_batch->items.size();) {
+    // Batched mode reads each physically-contiguous victim run with one
+    // device command; a failed run read marks every covered block not-ok,
+    // which the rescan rollback then re-attempts individually.
+    uint64_t run = 1;
+    if (config_.batched_gc_io) {
+      while (idx + run < gc_batch->items.size() &&
+             gc_batch->items[idx + run].offset ==
+                 gc_batch->items[idx].offset + run) {
+        run++;
+      }
+    }
     gc_batch->pending++;
     const uint64_t pa =
         MakePa(gc_device_, gc_victim_zone_, gc_batch->items[idx].offset,
                zone_cap_);
-    DeviceRead(gc_device_, pa, 1, 0,
-               [this, gc_batch, idx, rewrite](const Status& status,
-                                              std::vector<uint64_t> pats) {
-                 if (status.ok() && !pats.empty()) {
-                   gc_batch->patterns[idx] = pats[0];
-                   gc_batch->ok[idx] = 1;
+    DeviceRead(gc_device_, pa, run, 0,
+               [this, gc_batch, idx, run, rewrite](
+                   const Status& status, std::vector<uint64_t> pats) {
+                 if (status.ok() && pats.size() >= run) {
+                   for (uint64_t j = 0; j < run; ++j) {
+                     gc_batch->patterns[idx + j] = pats[j];
+                     gc_batch->ok[idx + j] = 1;
+                   }
                  } else if (status.code() == ErrorCode::kUnavailable) {
                    OnDeviceUnavailable(gc_device_);
                  }
@@ -1917,6 +2070,7 @@ void BizaArray::GcStep() {
                    rewrite();
                  }
                });
+    idx += run;
   }
   gc_batch->dispatched = true;
   if (gc_batch->pending == 0) {
@@ -1950,9 +2104,10 @@ Status BizaArray::Recover() {
     }
   }
 
-  bmt_.assign(exposed_blocks_, BmtEntry{});
+  bmt_.Clear();
   smt_.clear();
-  stripes_.clear();
+  stripe_data_pa_.clear();
+  stripe_live_.clear();
   next_sn_ = 0;
 
   struct ParityCandidate {
@@ -1970,6 +2125,11 @@ Status BizaArray::Recover() {
     for (uint32_t zone = 0; zone < num_zones_; ++zone) {
       const ZoneInfo info = dev->Report(zone);
       for (uint64_t off = 0; off < info.high_water; ++off) {
+        // Hop over never-allocated block runs: their OOBs are unwritten.
+        off = dev->NextWrittenCandidate(zone, off);
+        if (off >= info.high_water) {
+          break;
+        }
         auto oob = dev->ReadOobSync(zone, off);
         if (!oob.ok() || !oob->set()) {
           continue;
@@ -2005,11 +2165,10 @@ Status BizaArray::Recover() {
             cand.seen = true;
           }
         } else if (oob->lbn < exposed_blocks_) {
-          BmtEntry& entry = bmt_[oob->lbn];
+          const BmtEntry entry = BmtGet(oob->lbn);
           // Newer stripes have higher SNs; in-place updates share location.
           if (entry.pa == kInvalidPa || oob->sn >= entry.sn) {
-            entry.pa = pa;
-            entry.sn = oob->sn;
+            BmtSet(oob->lbn, BmtEntry{pa, oob->sn});
           }
         }
       }
@@ -2019,34 +2178,31 @@ Status BizaArray::Recover() {
   // Pass 2: rebuild the stripe index and SMT, recompute zone valid counts.
   smt_.assign(static_cast<size_t>(next_sn_) * static_cast<size_t>(m_),
               kInvalidPa);
-  stripes_.assign(next_sn_,
-                  StripeInfo{std::vector<uint64_t>(static_cast<size_t>(k_),
-                                                   kInvalidPa),
-                             std::vector<uint64_t>(static_cast<size_t>(m_),
-                                                   kInvalidPa),
-                             0});
+  stripe_data_pa_.assign(
+      static_cast<size_t>(next_sn_) * static_cast<size_t>(k_), kInvalidPa);
+  stripe_live_.assign(next_sn_, 0);
   for (auto& dev_zones : zones_) {
     for (auto& z : dev_zones) {
       z.valid = 0;
     }
   }
-  for (uint64_t lbn = 0; lbn < exposed_blocks_; ++lbn) {
-    const BmtEntry& entry = bmt_[lbn];
+  // Per-entry increments are commutative, so the hash's unspecified visit
+  // order leaves the rebuilt tables identical to a sequential lbn sweep.
+  bmt_.ForEach([&](uint64_t, const BmtEntry& entry) {
     if (entry.pa == kInvalidPa) {
-      continue;
+      return;
     }
-    StripeInfo& stripe = stripes_[entry.sn];
     // Slot identity is a pure function of (sn, device): required for
     // Reed-Solomon decode and preserved across recovery.
     const int slot = geometry_.DataSlotOf(entry.sn, PaDevice(entry.pa));
     if (slot >= 0) {
-      stripe.data_pa[static_cast<size_t>(slot)] = entry.pa;
+      SetStripeDataPa(entry.sn, slot, entry.pa);
     }
-    stripe.live++;
+    stripe_live_[entry.sn]++;
     ZoneOf(PaDevice(entry.pa), PaZone(entry.pa)).valid++;
-  }
+  });
   for (uint32_t sn = 0; sn < next_sn_; ++sn) {
-    if (stripes_[sn].live == 0) {
+    if (stripe_live_[sn] == 0) {
       continue;
     }
     for (int row = 0; row < m_; ++row) {
@@ -2055,7 +2211,6 @@ Status BizaArray::Recover() {
           static_cast<size_t>(row);
       if (key < parity.size() && parity[key].seen) {
         SmtSet(sn, row, parity[key].pa);
-        stripes_[sn].parity_pa[static_cast<size_t>(row)] = parity[key].pa;
         ZoneOf(PaDevice(parity[key].pa), PaZone(parity[key].pa)).valid++;
       }
     }
@@ -2093,7 +2248,18 @@ Status BizaArray::Recover() {
 }
 
 uint64_t BizaArray::DebugBmtPa(uint64_t lbn) const {
-  return lbn < bmt_.size() ? bmt_[lbn].pa : kInvalidPa;
+  return lbn < exposed_blocks_ ? BmtGet(lbn).pa : kInvalidPa;
+}
+
+uint64_t BizaArray::ResidentStateBytes() const {
+  uint64_t bytes = bmt_.allocated_bytes() +
+                   smt_.capacity() * sizeof(smt_[0]) +
+                   stripe_data_pa_.capacity() * sizeof(stripe_data_pa_[0]) +
+                   stripe_live_.capacity() * sizeof(stripe_live_[0]);
+  for (const ZnsDevice* dev : devices_) {
+    bytes += dev->ResidentStateBytes();
+  }
+  return bytes;
 }
 
 }  // namespace biza

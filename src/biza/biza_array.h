@@ -37,6 +37,7 @@
 
 #include "src/biza/biza_config.h"
 #include "src/biza/channel_detector.h"
+#include "src/common/sparse_array.h"
 #include "src/biza/ghost_cache.h"
 #include "src/biza/zone_scheduler.h"
 #include "src/engines/target.h"
@@ -91,6 +92,15 @@ class BizaArray : public BlockTarget {
 
   void SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                    WriteCallback cb, WriteTag tag) override;
+  // Gather write: one array request over arbitrary (not necessarily
+  // contiguous) targets. GC and rebuild migrations use this so an N-chunk
+  // batch costs one pass through the write path — one partial-parity refresh
+  // and one coalesced device write per member — instead of N single-block
+  // requests. Placement is append-anywhere, so scattered targets batch just
+  // as well as a contiguous run.
+  void SubmitWriteGather(std::vector<uint64_t> lbns,
+                         std::vector<uint64_t> patterns, WriteCallback cb,
+                         WriteTag tag);
   void SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) override;
   void FlushBuffers(std::function<void()> done) override;
 
@@ -130,6 +140,10 @@ class BizaArray : public BlockTarget {
   bool gc_active() const { return gc_active_; }
   const BizaConfig& config() const { return config_; }
 
+  // Bytes of mapping/stripe state currently resident (BMT + SMT + stripe
+  // index). Scales with written data, not exposed capacity.
+  uint64_t ResidentStateBytes() const;
+
   // Test hooks.
   uint64_t DebugBmtPa(uint64_t lbn) const;
   uint64_t FreeZonesOf(int device) const;
@@ -164,12 +178,6 @@ class BizaArray : public BlockTarget {
   struct BmtEntry {
     uint64_t pa = kInvalidPa;
     uint32_t sn = 0;
-  };
-
-  struct StripeInfo {
-    std::vector<uint64_t> data_pa;    // k entries (kInvalidPa while filling)
-    std::vector<uint64_t> parity_pa;  // m entries (kInvalidPa until written)
-    uint32_t live = 0;
   };
 
   enum class ZoneUse : uint8_t { kFree, kActive, kSealed };
@@ -211,6 +219,13 @@ class BizaArray : public BlockTarget {
   // Shared completion join for all device writes of one block request
   // (defined in the .cc).
   struct WriteJoin;
+
+  // Common body of SubmitWrite / SubmitWriteGather. An empty `gather_lbns`
+  // means targets are contiguous from `lbn`; otherwise gather_lbns[i] is the
+  // target of patterns[i] (and `lbn` only labels traces).
+  void DoSubmitWrite(uint64_t lbn, std::vector<uint64_t> gather_lbns,
+                     std::vector<uint64_t> patterns, WriteCallback cb,
+                     WriteTag tag);
 
   ZoneScheduler* SchedOf(uint64_t pa);
   DevZone& ZoneOf(int device, uint32_t zone) {
@@ -287,11 +302,31 @@ class BizaArray : public BlockTarget {
   uint32_t num_zones_;
   uint64_t exposed_blocks_;
 
-  std::vector<BmtEntry> bmt_;
+  // BMT is hash-keyed: at full geometry the exposed LBA space is ~hundreds
+  // of millions of blocks, and user writes hit it uniformly at random — a
+  // dense (or chunked) table would cost memory proportional to capacity.
+  // An absent key reads back as the default BmtEntry (pa = kInvalidPa),
+  // exactly the dense table's initial state.
+  SparseTable<BmtEntry> bmt_;
   // SMT: sn -> m parity PAs (flat, stride m_), per the paper's table layout.
   std::vector<uint64_t> smt_;
-  std::vector<StripeInfo> stripes_;    // sn -> members
+  // Stripe member index, flat: data PAs (stride k_) + live counts. Parity
+  // locations live in the SMT alone (the old per-stripe copy was a strict
+  // mirror of it).
+  std::vector<uint64_t> stripe_data_pa_;  // sn * k + slot
+  std::vector<uint32_t> stripe_live_;     // sn
   uint32_t next_sn_ = 0;
+
+  BmtEntry BmtGet(uint64_t lbn) const { return bmt_.Get(lbn); }
+  void BmtSet(uint64_t lbn, const BmtEntry& entry) { bmt_.Set(lbn, entry); }
+  uint64_t StripeDataPa(uint32_t sn, int slot) const {
+    return stripe_data_pa_[static_cast<size_t>(sn) * static_cast<size_t>(k_) +
+                           static_cast<size_t>(slot)];
+  }
+  void SetStripeDataPa(uint32_t sn, int slot, uint64_t pa) {
+    stripe_data_pa_[static_cast<size_t>(sn) * static_cast<size_t>(k_) +
+                    static_cast<size_t>(slot)] = pa;
+  }
 
   uint64_t SmtAt(uint32_t sn, int row) const {
     return smt_[static_cast<size_t>(sn) * static_cast<size_t>(m_) +

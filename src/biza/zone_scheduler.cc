@@ -16,11 +16,21 @@ ZoneScheduler::ZoneScheduler(ZnsDevice* device, uint32_t zone, int max_retries,
   capacity_ = device_->config().zone_capacity_blocks;
   zrwa_blocks_ = device_->config().zrwa_blocks;
   assert(zrwa_blocks_ > 0 && "ZoneScheduler requires a ZRWA zone");
-  pending_.assign(capacity_, 0);
-  inflight_cnt_.assign(capacity_, 0);
-  durable_.assign(capacity_, false);
-  patterns_.assign(capacity_, 0);
-  oobs_.assign(capacity_, OobRecord{});
+  // Per-block bookkeeping grows with the allocation frontier (GrowTo) rather
+  // than being sized for the whole zone up front: a full-geometry zone is
+  // ~275k blocks and most open zones fill only a fraction before they are
+  // sealed or harvested.
+}
+
+void ZoneScheduler::GrowTo(uint64_t n) {
+  if (pending_.size() >= n) {
+    return;
+  }
+  pending_.resize(n, 0);
+  inflight_cnt_.resize(n, 0);
+  durable_.resize(n, false);
+  patterns_.resize(n, 0);
+  oobs_.resize(n, OobRecord{});
 }
 
 void ZoneScheduler::SetTracer(Tracer* tracer) {
@@ -37,6 +47,7 @@ uint64_t ZoneScheduler::Allocate(uint64_t n) {
   const uint64_t offset = alloc_ptr_;
   alloc_ptr_ += n;
   unsubmitted_ += n;
+  GrowTo(alloc_ptr_);  // every per-block access is below alloc_ptr_
   return offset;
 }
 

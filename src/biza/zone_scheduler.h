@@ -111,6 +111,9 @@ class ZoneScheduler {
   void Pump();
   void Dispatch(Job job);
   void AdvanceWindow();
+  // Extends the per-block vectors to cover [0, n): called from Allocate so
+  // resident bookkeeping tracks the allocation frontier, not zone capacity.
+  void GrowTo(uint64_t n);
 
   ZnsDevice* device_;
   uint32_t zone_;

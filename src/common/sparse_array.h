@@ -1,0 +1,270 @@
+// Sparse state containers for full-geometry simulation.
+//
+// A full ZN540 member holds 904 zones x 275,712 blocks; four of them expose
+// ~half a billion logical blocks. Dense per-block tables (the seed layout)
+// cost tens of gigabytes before the first byte is written. These containers
+// make resident memory proportional to *written* data instead of raw
+// capacity, the same lazy-state trick device emulators use for multi-TB
+// namespaces:
+//
+// * ChunkedArray<T> — a fixed-size logical array backed by lazily-allocated
+//   fixed-size chunks. Reads of never-written ranges return a fill value
+//   without allocating; the first write to a chunk allocates it; Clear()
+//   bulk-frees everything (the zone-reset / erase path). Suits state that
+//   fills densely from offset 0 (zone blocks, physical-page tables).
+// * SparseTable<V> — an open-addressing hash keyed by a 64-bit index, for
+//   tables whose key space is vast but whose populated set tracks written
+//   data (BMT: lbn -> PA, conv L2P). Memory is ~32 bytes per *written* key
+//   regardless of access pattern, where chunking would blow up under
+//   uniform-random writes (one touched chunk per write).
+//
+// Neither container is thread-safe; the simulator is single-threaded per
+// experiment.
+#ifndef BIZA_SRC_COMMON_SPARSE_ARRAY_H_
+#define BIZA_SRC_COMMON_SPARSE_ARRAY_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace biza {
+
+template <typename T>
+class ChunkedArray {
+ public:
+  ChunkedArray() = default;
+  explicit ChunkedArray(uint64_t size, uint64_t chunk_size = 1024, T fill = T{})
+      : size_(size), chunk_size_(chunk_size), fill_(std::move(fill)) {
+    assert(chunk_size_ > 0);
+    chunks_.resize((size_ + chunk_size_ - 1) / chunk_size_);
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t chunk_size() const { return chunk_size_; }
+
+  // Read without allocating: the fill value stands in for absent chunks.
+  const T& Get(uint64_t i) const {
+    assert(i < size_);
+    const auto& chunk = chunks_[i / chunk_size_];
+    return chunk == nullptr ? fill_ : chunk[i % chunk_size_];
+  }
+
+  // nullptr when the containing chunk was never written (read fast path:
+  // callers can treat a null as "whole chunk unwritten").
+  const T* Peek(uint64_t i) const {
+    assert(i < size_);
+    const auto& chunk = chunks_[i / chunk_size_];
+    return chunk == nullptr ? nullptr : &chunk[i % chunk_size_];
+  }
+
+  // Write access; allocates (and fill-initializes) the chunk on first touch.
+  T& Mut(uint64_t i) {
+    assert(i < size_);
+    auto& chunk = chunks_[i / chunk_size_];
+    if (chunk == nullptr) {
+      chunk = std::make_unique<T[]>(chunk_size_);
+      for (uint64_t j = 0; j < chunk_size_; ++j) {
+        chunk[j] = fill_;
+      }
+      allocated_chunks_++;
+    }
+    return chunk[i % chunk_size_];
+  }
+
+  // Bulk-free every chunk (zone reset / erase): O(allocated chunks).
+  void Clear() {
+    for (auto& chunk : chunks_) {
+      chunk.reset();
+    }
+    allocated_chunks_ = 0;
+  }
+
+  // Frees every chunk fully contained in [begin, end) and resets entries of
+  // partially covered allocated chunks to the fill value — the erase-unit
+  // reclamation path. O(chunks in range).
+  void ClearRange(uint64_t begin, uint64_t end) {
+    assert(begin <= end && end <= size_);
+    uint64_t i = begin;
+    while (i < end) {
+      const uint64_t c = i / chunk_size_;
+      const uint64_t chunk_begin = c * chunk_size_;
+      const uint64_t chunk_end = chunk_begin + chunk_size_;
+      if (chunks_[c] != nullptr) {
+        if (begin <= chunk_begin && chunk_end <= end) {
+          chunks_[c].reset();
+          allocated_chunks_--;
+        } else {
+          const uint64_t hi = end < chunk_end ? end : chunk_end;
+          for (uint64_t j = i; j < hi; ++j) {
+            chunks_[c][j - chunk_begin] = fill_;
+          }
+        }
+      }
+      i = chunk_end;
+    }
+  }
+
+  // Force-allocate every chunk: the dense reference mode used by the
+  // sparse-vs-dense equivalence tests.
+  void PreallocateAll() {
+    for (uint64_t c = 0; c < chunks_.size(); ++c) {
+      (void)Mut(c * chunk_size_);
+    }
+  }
+
+  // Smallest index >= i whose chunk is allocated, or size(). Scans (OOB
+  // recovery, GC liveness) hop over unwritten regions chunk-by-chunk.
+  uint64_t SkipUnallocated(uint64_t i) const {
+    uint64_t c = i / chunk_size_;
+    if (c < chunks_.size() && chunks_[c] != nullptr) {
+      return i;
+    }
+    while (c < chunks_.size() && chunks_[c] == nullptr) {
+      ++c;
+    }
+    return c >= chunks_.size() ? size_ : c * chunk_size_;
+  }
+
+  uint64_t allocated_chunks() const { return allocated_chunks_; }
+  uint64_t allocated_bytes() const {
+    return allocated_chunks_ * chunk_size_ * sizeof(T) +
+           chunks_.capacity() * sizeof(chunks_[0]);
+  }
+
+ private:
+  uint64_t size_ = 0;
+  uint64_t chunk_size_ = 1;
+  T fill_{};
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  uint64_t allocated_chunks_ = 0;
+};
+
+// Open-addressing hash map from uint64 keys to V. Linear probing, power-of-2
+// capacity, rehash at 7/8 load. Keys are logical block numbers (< 2^40), so
+// the all-ones key doubles as the empty-slot sentinel. Erase is unsupported:
+// engine tables invalidate entries by overwriting the value, never by
+// removing the key.
+template <typename V>
+class SparseTable {
+ public:
+  SparseTable() { Rehash(kMinSlots); }
+
+  size_t size() const { return size_; }
+  uint64_t allocated_bytes() const { return slots_.capacity() * sizeof(Slot); }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+    Rehash(kMinSlots);
+  }
+
+  void Reserve(size_t n) {
+    size_t want = kMinSlots;
+    while (want * 7 / 8 < n) {
+      want <<= 1;
+    }
+    if (want > slots_.size()) {
+      Rehash(want);
+    }
+  }
+
+  // Pointer to the value, or nullptr when absent. Never allocates.
+  V* Find(uint64_t key) {
+    Slot& slot = Probe(key);
+    return slot.key == key ? &slot.value : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    const Slot& slot = const_cast<SparseTable*>(this)->Probe(key);
+    return slot.key == key ? &slot.value : nullptr;
+  }
+
+  // Value copy, default-constructed V when absent. Never allocates.
+  V Get(uint64_t key) const {
+    const V* v = Find(key);
+    return v == nullptr ? V{} : *v;
+  }
+
+  // Insert-or-find; the returned reference is invalidated by the next
+  // insertion of a new key (the table may rehash).
+  V& Upsert(uint64_t key) {
+    assert(key != kEmptyKey);
+    Slot* slot = &Probe(key);
+    if (slot->key != key) {
+      if ((size_ + 1) * 8 > slots_.size() * 7) {
+        Rehash(slots_.size() * 2);
+        slot = &Probe(key);
+      }
+      slot->key = key;
+      slot->value = V{};
+      size_++;
+    }
+    return slot->value;
+  }
+
+  void Set(uint64_t key, V value) { Upsert(key) = std::move(value); }
+
+  // Visits every populated entry in unspecified (but run-deterministic)
+  // order. The callback must not insert.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+  static constexpr size_t kMinSlots = 16;
+
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  static uint64_t Hash(uint64_t x) {
+    // splitmix64 finalizer: full-avalanche over sequential lbn keys.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Slot& Probe(uint64_t key) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (slots_[i].key != key && slots_[i].key != kEmptyKey) {
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.assign(new_slots, Slot{});
+    for (Slot& slot : old) {
+      if (slot.key != kEmptyKey) {
+        Probe(slot.key) = std::move(slot);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_COMMON_SPARSE_ARRAY_H_

@@ -21,9 +21,16 @@ ConvSsd::ConvSsd(Simulator* sim, const ConvSsdConfig& config)
   num_flash_blocks_ = std::max<uint64_t>(num_flash_blocks_, 8);
   total_pages_ = num_flash_blocks_ * config_.pages_per_flash_block;
 
-  l2p_.assign(config_.capacity_blocks, kUnmapped);
-  p2l_.assign(total_pages_, kUnmapped);
-  page_pattern_.assign(total_pages_, 0);
+  // One chunk per flash block when blocks are small; cap at 1024 entries so
+  // huge erase units don't inflate the first-touch cost.
+  const uint64_t chunk =
+      std::min<uint64_t>(config_.pages_per_flash_block, 1024);
+  p2l_ = ChunkedArray<uint64_t>(total_pages_, chunk, kUnmapped);
+  page_pattern_ = ChunkedArray<uint64_t>(total_pages_, chunk, 0);
+  if (config_.dense_state) {
+    p2l_.PreallocateAll();
+    page_pattern_.PreallocateAll();
+  }
   flash_blocks_.resize(num_flash_blocks_);
   for (uint64_t b = 0; b < num_flash_blocks_; ++b) {
     flash_blocks_[b].channel =
@@ -125,6 +132,11 @@ uint64_t ConvSsd::AllocatePage(int channel) {
       }
     }
   }
+  // Emergency path: every pool is dry. Collect synchronously until a block
+  // frees up rather than indexing flash_blocks_[kUnmapped].
+  while (active == kUnmapped && CollectOne()) {
+    active = GrabFreeBlock(channel);
+  }
   assert(active != kUnmapped && "FTL truly out of pages");
   FlashBlock& block = flash_blocks_[active];
   const uint64_t ppn = active * config_.pages_per_flash_block + block.next_page;
@@ -192,9 +204,21 @@ bool ConvSsd::CollectOne() {
   FlashBlock& vblock = flash_blocks_[victim];
   const int channel = vblock.channel;
   uint64_t migrated = 0;
+  // Batched mode coalesces the migration transfers into one read run off the
+  // victim plus one program run per destination segment, instead of a
+  // page-interleaved read/program pair per live page.
+  uint64_t run_pages = 0;
+  int run_prog_channel = -1;
+  auto flush_runs = [&] {
+    if (run_pages > 0) {
+      backend_->ReadRun(channel, run_pages, kBlockSize);
+      backend_->ProgramRun(run_prog_channel, run_pages, kBlockSize);
+      run_pages = 0;
+    }
+  };
   for (uint64_t p = 0; p < config_.pages_per_flash_block; ++p) {
     const uint64_t ppn = victim * config_.pages_per_flash_block + p;
-    const uint64_t lbn = p2l_[ppn];
+    const uint64_t lbn = p2l_.Get(ppn);
     if (lbn == kUnmapped) {
       continue;
     }
@@ -202,6 +226,7 @@ bool ConvSsd::CollectOne() {
     if (gc_active_block_ == kUnmapped ||
         flash_blocks_[gc_active_block_].next_page >=
             config_.pages_per_flash_block) {
+      flush_runs();
       gc_active_block_ = GrabFreeBlock(/*channel_pref=*/-1);
       if (gc_active_block_ == kUnmapped) {
         return false;  // no destination: abandon this collection attempt
@@ -212,14 +237,20 @@ bool ConvSsd::CollectOne() {
         gc_active_block_ * config_.pages_per_flash_block + dest.next_page;
     dest.next_page++;
     dest.valid_pages++;
-    p2l_[new_ppn] = lbn;
-    page_pattern_[new_ppn] = page_pattern_[ppn];
-    l2p_[lbn] = new_ppn;
-    p2l_[ppn] = kUnmapped;
+    p2l_.Mut(new_ppn) = lbn;
+    page_pattern_.Mut(new_ppn) = page_pattern_.Get(ppn);
+    l2p_.Set(lbn, new_ppn);
+    p2l_.Mut(ppn) = kUnmapped;
     migrated++;
-    backend_->Read(channel, kBlockSize);
-    backend_->BackgroundProgram(dest.channel, kBlockSize);
+    if (config_.batched_gc_io) {
+      run_prog_channel = dest.channel;
+      run_pages++;
+    } else {
+      backend_->Read(channel, kBlockSize);
+      backend_->BackgroundProgram(dest.channel, kBlockSize);
+    }
   }
+  flush_runs();
   stats_.gc_migrated_blocks += migrated;
   stats_.flash_programmed_blocks += migrated;
   stats_.flash_by_tag[static_cast<int>(WriteTag::kGcData)] += migrated;
@@ -229,6 +260,13 @@ bool ConvSsd::CollectOne() {
   vblock.next_page = 0;
   vblock.valid_pages = 0;
   free_blocks_++;
+  // The erased block's pages are all invalid now: give their chunks back.
+  if (!config_.dense_state) {
+    const uint64_t lo = victim * config_.pages_per_flash_block;
+    const uint64_t hi = lo + config_.pages_per_flash_block;
+    p2l_.ClearRange(lo, hi);
+    page_pattern_.ClearRange(lo, hi);
+  }
   return true;
 }
 
@@ -244,28 +282,31 @@ void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
     cb(OutOfRangeError("write beyond capacity"));
     return;
   }
-  MaybeRunGc();
   SimTime done = sim_->Now();
   // Stripe the write across channels in sub-chunks (FTL page striping).
   constexpr uint64_t kStripeChunkBlocks = 8;  // 32 KiB per channel hop
   uint64_t i = 0;
   while (i < n) {
+    // Re-check per chunk, not once per request: a large request can consume
+    // more free blocks than the GC trigger margin holds, and the FTL must
+    // never allocate from a dry pool.
+    MaybeRunGc();
     const uint64_t take = std::min(kStripeChunkBlocks, n - i);
     const int channel = static_cast<int>(
         write_rr_++ % static_cast<size_t>(config_.timing.num_channels));
     for (uint64_t j = 0; j < take; ++j) {
       const uint64_t target = lbn + i + j;
-      const uint64_t old_ppn = l2p_[target];
+      const uint64_t old_ppn = L2p(target);
       if (old_ppn != kUnmapped) {
         // Invalidate the stale page.
         const uint64_t old_block = old_ppn / config_.pages_per_flash_block;
         flash_blocks_[old_block].valid_pages--;
-        p2l_[old_ppn] = kUnmapped;
+        p2l_.Mut(old_ppn) = kUnmapped;
       }
       const uint64_t ppn = AllocatePage(channel);
-      l2p_[target] = ppn;
-      p2l_[ppn] = target;
-      page_pattern_[ppn] = patterns[i + j];
+      l2p_.Set(target, ppn);
+      p2l_.Mut(ppn) = target;
+      page_pattern_.Mut(ppn) = patterns[i + j];
     }
     const SimTime chunk_done = backend_->Write(channel, take * kBlockSize);
     done = std::max(done, chunk_done);
@@ -297,11 +338,11 @@ void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   patterns.reserve(nblocks);
   int channel = 0;
   for (uint64_t i = 0; i < nblocks; ++i) {
-    const uint64_t ppn = l2p_[lbn + i];
+    const uint64_t ppn = L2p(lbn + i);
     if (ppn == kUnmapped) {
       patterns.push_back(0);
     } else {
-      patterns.push_back(page_pattern_[ppn]);
+      patterns.push_back(page_pattern_.Get(ppn));
       channel = flash_blocks_[ppn / config_.pages_per_flash_block].channel;
     }
   }
@@ -317,11 +358,18 @@ Result<uint64_t> ConvSsd::ReadPatternSync(uint64_t lbn) const {
   if (lbn >= config_.capacity_blocks) {
     return OutOfRangeError("bad lbn");
   }
-  const uint64_t ppn = l2p_[lbn];
+  const uint64_t ppn = L2p(lbn);
   if (ppn == kUnmapped) {
     return NotFoundError("unmapped lbn");
   }
-  return page_pattern_[ppn];
+  return page_pattern_.Get(ppn);
+}
+
+uint64_t ConvSsd::ResidentStateBytes() const {
+  return l2p_.allocated_bytes() + p2l_.allocated_bytes() +
+         page_pattern_.allocated_bytes() +
+         flash_blocks_.capacity() * sizeof(FlashBlock) +
+         active_blocks_.capacity() * sizeof(uint64_t);
 }
 
 }  // namespace biza

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sparse_array.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
@@ -42,6 +43,17 @@ struct ConvSsdConfig {
   SimTime dispatch_base_ns = 2 * kMicrosecond;
   SimTime dispatch_jitter_ns = 8 * kMicrosecond;
   uint64_t seed = 1;
+
+  // Model GC transfers as channel runs (one ReadRun + one ProgramRun per
+  // migrated segment) instead of page-interleaved singles. Content, mapping
+  // and WA accounting are identical either way; only the die-rotation order
+  // of the migration arithmetic differs. Off = the legacy per-page model,
+  // kept for equivalence tests.
+  bool batched_gc_io = true;
+
+  // Dense reference mode: preallocate the physical-page tables up front (the
+  // pre-sparse layout) instead of growing them with written data.
+  bool dense_state = false;
 
   static NandTimingConfig ConvTiming() {
     NandTimingConfig t;
@@ -89,6 +101,10 @@ class ConvSsd {
   const ConvSsdConfig& config() const { return config_; }
   const ConvSsdStats& stats() const { return stats_; }
   NandBackend& backend() { return *backend_; }
+
+  // Bytes of FTL state currently resident (L2P + physical-page tables +
+  // flash-block descriptors). Scales with written data, not raw capacity.
+  uint64_t ResidentStateBytes() const;
 
   // Interposes `injector` on every command this device serves; `device_id`
   // names this device in the injector's fault plan. Pass nullptr to detach.
@@ -144,11 +160,19 @@ class ConvSsd {
   FaultInjector* fault_ = nullptr;
   int fault_device_id_ = -1;
 
+  // l2p_ is hash-keyed because host writes are uniform-random over a vast
+  // LBA space (chunking would allocate a chunk per write); the physical
+  // tables fill densely within each flash block, so chunks suit them.
+  uint64_t L2p(uint64_t lbn) const {
+    const uint64_t* ppn = l2p_.Find(lbn);
+    return ppn == nullptr ? kUnmapped : *ppn;
+  }
+
   uint64_t total_pages_ = 0;
   uint64_t num_flash_blocks_ = 0;
-  std::vector<uint64_t> l2p_;        // lbn -> ppn
-  std::vector<uint64_t> p2l_;        // ppn -> lbn (kUnmapped if invalid)
-  std::vector<uint64_t> page_pattern_;
+  SparseTable<uint64_t> l2p_;          // lbn -> ppn (absent = unmapped)
+  ChunkedArray<uint64_t> p2l_;         // ppn -> lbn (kUnmapped if invalid)
+  ChunkedArray<uint64_t> page_pattern_;
   std::vector<FlashBlock> flash_blocks_;
   std::vector<uint64_t> active_blocks_;   // one open block per channel
   size_t write_rr_ = 0;                   // channel rotation for user writes

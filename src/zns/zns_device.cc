@@ -1,5 +1,6 @@
 #include "src/zns/zns_device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <utility>
@@ -30,8 +31,17 @@ ZnsDevice::ZnsDevice(Simulator* sim, const ZnsConfig& config)
       backend_(std::make_unique<NandBackend>(sim, config.timing)),
       rng_(config.seed) {
   zones_.resize(config_.num_zones);
+  // Chunk granularity: zones fill sequentially (append discipline), so
+  // 1024-block chunks keep overhead near one chunk of slack per open zone
+  // while a never-written full-geometry zone (275,712 blocks) costs only
+  // its chunk-pointer table.
+  const uint64_t chunk =
+      std::min<uint64_t>(config_.zone_capacity_blocks, 1024);
   for (auto& z : zones_) {
-    z.blocks.resize(config_.zone_capacity_blocks);
+    z.blocks = ChunkedArray<Block>(config_.zone_capacity_blocks, chunk);
+    if (config_.dense_state) {
+      z.blocks.PreallocateAll();  // dense reference mode (equivalence tests)
+    }
   }
 }
 
@@ -148,7 +158,11 @@ SimTime ZnsDevice::FlushRange(Zone& z, uint64_t from, uint64_t to) {
   assert(to <= z.blocks.size());
   uint64_t flushed = 0;
   for (uint64_t b = from; b < to; ++b) {
-    Block& block = z.blocks[b];
+    b = z.blocks.SkipUnallocated(b);  // hop never-written gaps chunk-wise
+    if (b >= to) {
+      break;
+    }
+    Block& block = z.blocks.Mut(b);
     if (block.buffered) {
       block.buffered = false;
       flushed++;
@@ -234,7 +248,7 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
       flush_done = FlushRange(z, z.flush_ptr, end - config_.zrwa_blocks);
     }
     for (uint64_t i = 0; i < n; ++i) {
-      Block& block = z.blocks[offset + i];
+      Block& block = z.blocks.Mut(offset + i);
       if (block.written && block.buffered) {
         stats_.zrwa_absorbed_blocks++;  // in-place update absorbed in DRAM
       }
@@ -277,7 +291,7 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
     return;
   }
   for (uint64_t i = 0; i < n; ++i) {
-    Block& block = z.blocks[offset + i];
+    Block& block = z.blocks.Mut(offset + i);
     block.pattern = patterns[i];
     block.oob = oobs.empty() ? OobRecord{} : oobs[i];
     block.written = true;
@@ -336,7 +350,7 @@ void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
   }
   const uint64_t offset = z.flush_ptr;
   for (uint64_t i = 0; i < n; ++i) {
-    Block& block = z.blocks[offset + i];
+    Block& block = z.blocks.Mut(offset + i);
     block.pattern = patterns[i];
     block.oob = oobs.empty() ? OobRecord{} : oobs[i];
     block.written = true;
@@ -388,11 +402,13 @@ void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
   result.oobs.reserve(nblocks);
   bool all_buffered = true;
   for (uint64_t i = 0; i < nblocks; ++i) {
-    const Block& block = z.blocks[offset + i];
-    // Unwritten blocks read back as zero (deallocated-value semantics).
-    result.patterns.push_back(block.written ? block.pattern : 0);
-    result.oobs.push_back(block.written ? block.oob : OobRecord{});
-    if (!block.written || !block.buffered) {
+    // Unwritten blocks read back as zero (deallocated-value semantics);
+    // a never-allocated chunk stands in for a run of unwritten blocks.
+    const Block* block = z.blocks.Peek(offset + i);
+    const bool written = block != nullptr && block->written;
+    result.patterns.push_back(written ? block->pattern : 0);
+    result.oobs.push_back(written ? block->oob : OobRecord{});
+    if (!written || !block->buffered) {
       all_buffered = false;
     }
   }
@@ -509,8 +525,9 @@ Status ZnsDevice::ResetZone(uint32_t zone) {
   if (z.channel >= 0 && z.high_water > 0) {
     backend_->Erase(z.channel);
   }
-  for (auto& block : z.blocks) {
-    block = Block{};
+  z.blocks.Clear();  // bulk-free the chunked block state with the erase
+  if (config_.dense_state) {
+    z.blocks.PreallocateAll();
   }
   z.state = ZoneState::kEmpty;
   z.with_zrwa = false;
@@ -562,10 +579,11 @@ Result<OobRecord> ZnsDevice::ReadOobSync(uint32_t zone, uint64_t offset) const {
   if (offset >= z.blocks.size()) {
     return OutOfRangeError("bad offset");
   }
-  if (!z.blocks[offset].written) {
+  const Block* block = z.blocks.Peek(offset);
+  if (block == nullptr || !block->written) {
     return NotFoundError("block not written");
   }
-  return z.blocks[offset].oob;
+  return block->oob;
 }
 
 Result<uint64_t> ZnsDevice::ReadPatternSync(uint32_t zone,
@@ -578,10 +596,30 @@ Result<uint64_t> ZnsDevice::ReadPatternSync(uint32_t zone,
   if (offset >= z.blocks.size()) {
     return OutOfRangeError("bad offset");
   }
-  if (!z.blocks[offset].written) {
+  const Block* block = z.blocks.Peek(offset);
+  if (block == nullptr || !block->written) {
     return NotFoundError("block not written");
   }
-  return z.blocks[offset].pattern;
+  return block->pattern;
+}
+
+uint64_t ZnsDevice::NextWrittenCandidate(uint32_t zone, uint64_t from) const {
+  if (zone >= config_.num_zones) {
+    return 0;
+  }
+  const Zone& z = zones_[zone];
+  if (from >= z.blocks.size()) {
+    return z.blocks.size();
+  }
+  return z.blocks.SkipUnallocated(from);
+}
+
+uint64_t ZnsDevice::ResidentStateBytes() const {
+  uint64_t bytes = 0;
+  for (const Zone& z : zones_) {
+    bytes += z.blocks.allocated_bytes();
+  }
+  return bytes;
 }
 
 int ZnsDevice::DebugChannelOf(uint32_t zone) const {

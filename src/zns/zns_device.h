@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sparse_array.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/common/write_tag.h"
@@ -149,6 +150,17 @@ class ZnsDevice {
   Result<OobRecord> ReadOobSync(uint32_t zone, uint64_t offset) const;
   Result<uint64_t> ReadPatternSync(uint32_t zone, uint64_t offset) const;
 
+  // Smallest offset >= `from` in `zone` that may hold a written block, or
+  // the zone capacity when the rest of the zone was never touched. OOB /
+  // liveness scans (recovery, GC) hop over never-allocated regions in
+  // chunk-sized strides instead of probing every block of a 1077 MiB zone.
+  uint64_t NextWrittenCandidate(uint32_t zone, uint64_t from) const;
+
+  // Bytes currently held by lazily-allocated per-zone block state. Resident
+  // memory scales with written data, not raw capacity (a full-geometry
+  // device starts near zero and chunk state is bulk-freed on zone reset).
+  uint64_t ResidentStateBytes() const;
+
   // Ground truth of the hidden zone->channel mapping (oracle for tests and
   // for initial zone-to-zone diagnosis calibration).
   int DebugChannelOf(uint32_t zone) const;
@@ -195,7 +207,11 @@ class ZnsDevice {
     // request and loses most of the zone's bandwidth, §3.2; concurrent
     // writers pipeline the transfers and saturate it).
     SimTime ack_free = 0;
-    std::vector<Block> blocks;
+    // Per-block pattern/OOB state in lazily-allocated chunks: a zone costs
+    // nothing until written, and a reset bulk-frees it. Reads of absent
+    // chunks see the default Block (unwritten), matching the deallocated
+    // read semantics of real zones.
+    ChunkedArray<Block> blocks;
   };
 
   // Dispatch helpers: all data-plane commands arrive after jitter.

@@ -207,6 +207,61 @@ TEST(Raid6, GcPreservesDoubleFaultTolerance) {
   EXPECT_EQ(report.verify_failures, 0u);
 }
 
+TEST(Raid6, DoubleFailureOnlineRebuildLosesNoAckedWrites) {
+  Raid6Fixture f;
+  Rng rng(77);
+  std::vector<uint64_t> truth(600);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next() | 1;  // never zero
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+
+  // Kill TWO members at once (the m = 2 design point), then keep writing:
+  // every ack below is a durability promise the rebuild must honour.
+  f.array->SetDeviceFailed(0, true);
+  f.array->SetDeviceFailed(2, true);
+  for (uint64_t lbn = 0; lbn < 80; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+
+  // Hot-swap spares one slot at a time; each online rebuild sweep runs to
+  // completion (the second starts from a singly-degraded array).
+  auto spare_config = [](uint64_t seed) {
+    ZnsConfig dc = ZnsConfig::Zn540(/*num_zones=*/48, /*zone_cap=*/1024);
+    dc.seed = seed;
+    return dc;
+  };
+  f.devs.push_back(std::make_unique<ZnsDevice>(&f.sim, spare_config(97)));
+  ASSERT_TRUE(f.array->ReplaceDevice(0, f.devs.back().get()).ok());
+  f.sim.RunUntilIdle();
+  EXPECT_FALSE(f.array->rebuild().active);
+  EXPECT_GT(f.array->rebuild().chunks_migrated, 0u);
+
+  f.devs.push_back(std::make_unique<ZnsDevice>(&f.sim, spare_config(98)));
+  ASSERT_TRUE(f.array->ReplaceDevice(2, f.devs.back().get()).ok());
+  f.sim.RunUntilIdle();
+  EXPECT_FALSE(f.array->rebuild().active);
+
+  // Zero acked-write loss: every block reads back its last acked value on
+  // the healthy array.
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok()) << "lbn " << lbn << ": " << r.status().ToString();
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+
+  // Both parity rows were rebuilt, not just data: losing two *different*
+  // members afterwards must still reconstruct everything.
+  f.array->SetDeviceFailed(1, true);
+  f.array->SetDeviceFailed(3, true);
+  for (uint64_t lbn = 0; lbn < truth.size(); lbn += 7) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok()) << "lbn " << lbn << ": " << r.status().ToString();
+    EXPECT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn << " doubly degraded";
+  }
+}
+
 TEST(Raid6, WaAccountsTwoParityRows) {
   Raid6Fixture f;
   // Sequential cold writes: every stripe writes k data + 2 parity blocks.

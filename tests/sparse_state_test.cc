@@ -1,0 +1,504 @@
+// Tests of the sparse zone/FTL state containers and the batched NAND
+// pipeline: chunk allocation and reclamation, hashed-table behaviour across
+// rehashes, OOB scans over lazily-allocated zones, run-API equivalence with
+// per-page command loops, and dense-vs-sparse / batched-vs-legacy
+// behavioural equivalence of whole devices.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/biza/biza_array.h"
+#include "src/common/rng.h"
+#include "src/common/sparse_array.h"
+#include "src/common/units.h"
+#include "src/convssd/conv_ssd.h"
+#include "src/nand/nand_backend.h"
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+#include "src/zns/zns_device.h"
+#include "tests/test_util.h"
+
+namespace biza {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ChunkedArray
+
+TEST(ChunkedArray, ReadsOfUnallocatedChunksSeeFillValue) {
+  ChunkedArray<uint64_t> arr(/*size=*/10000, /*chunk_size=*/1024, /*fill=*/42);
+  EXPECT_EQ(arr.Get(0), 42u);
+  EXPECT_EQ(arr.Get(9999), 42u);
+  EXPECT_EQ(arr.allocated_chunks(), 0u);
+  EXPECT_EQ(arr.Peek(123), nullptr);
+}
+
+TEST(ChunkedArray, MutAllocatesOnlyTheTouchedChunk) {
+  ChunkedArray<uint64_t> arr(/*size=*/100000, /*chunk_size=*/1024, /*fill=*/0);
+  // allocated_bytes() carries the chunk-pointer table as a constant base.
+  const uint64_t base = arr.allocated_bytes();
+  arr.Mut(50000) = 7;
+  EXPECT_EQ(arr.allocated_chunks(), 1u);
+  EXPECT_EQ(arr.Get(50000), 7u);
+  ASSERT_NE(arr.Peek(50000), nullptr);
+  EXPECT_EQ(*arr.Peek(50000), 7u);
+  // Neighbours in the same chunk read the fill value, not garbage.
+  EXPECT_EQ(arr.Get(50001), 0u);
+  const uint64_t one_chunk = arr.allocated_bytes() - base;
+  EXPECT_GT(one_chunk, 0u);
+  arr.Mut(0) = 9;
+  EXPECT_EQ(arr.allocated_chunks(), 2u);
+  EXPECT_EQ(arr.allocated_bytes(), base + 2 * one_chunk);
+}
+
+TEST(ChunkedArray, ClearFreesEverything) {
+  ChunkedArray<uint64_t> arr(/*size=*/100000, /*chunk_size=*/1024, /*fill=*/5);
+  for (uint64_t i = 0; i < 100000; i += 1000) {
+    arr.Mut(i) = i;
+  }
+  EXPECT_GT(arr.allocated_chunks(), 0u);
+  arr.Clear();
+  EXPECT_EQ(arr.allocated_chunks(), 0u);
+  EXPECT_EQ(arr.Get(0), 5u);
+}
+
+TEST(ChunkedArray, ClearRangeFreesContainedChunksAndResetsPartials) {
+  ChunkedArray<uint64_t> arr(/*size=*/100000, /*chunk_size=*/1024, /*fill=*/0);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    arr.Mut(i) = i + 1;
+  }
+  const uint64_t all_chunks = arr.allocated_chunks();
+  // Clear a large interior range: fully-covered chunks must be freed, the
+  // straddled boundary chunks kept but reset to the fill value inside the
+  // range and untouched outside it.
+  arr.ClearRange(10, 90000);
+  EXPECT_LT(arr.allocated_chunks(), all_chunks);
+  EXPECT_EQ(arr.Get(9), 10u);     // below range: untouched
+  EXPECT_EQ(arr.Get(10), 0u);     // range start: fill value
+  EXPECT_EQ(arr.Get(50000), 0u);  // interior: chunk freed, reads fill
+  EXPECT_EQ(arr.Get(89999), 0u);  // range end - 1: fill value
+  EXPECT_EQ(arr.Get(90000), 90001u);  // past range: untouched
+}
+
+TEST(ChunkedArray, SkipUnallocatedHopsOverHoles) {
+  ChunkedArray<uint64_t> arr(/*size=*/100000, /*chunk_size=*/1024, /*fill=*/0);
+  arr.Mut(0) = 1;  // chunk 0 allocated
+  // From inside an allocated chunk there is nothing to skip.
+  EXPECT_EQ(arr.SkipUnallocated(5), 5u);
+  // All later chunks are holes: the scan lands at size().
+  EXPECT_EQ(arr.SkipUnallocated(99999), 100000u);
+  arr.Mut(99999) = 2;  // allocate the last chunk
+  const uint64_t hop = arr.SkipUnallocated(70000);
+  EXPECT_GT(hop, 70000u);
+  EXPECT_LE(hop, 99999u);
+  EXPECT_NE(arr.Peek(hop), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SparseTable
+
+TEST(SparseTable, AbsentKeysReadDefaultValue) {
+  SparseTable<uint64_t> table;
+  EXPECT_EQ(table.Find(12345), nullptr);
+  EXPECT_EQ(table.Get(12345), 0u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SparseTable, SetFindAndOverwrite) {
+  SparseTable<uint64_t> table;
+  table.Set(7, 100);
+  table.Set(7, 200);
+  ASSERT_NE(table.Find(7), nullptr);
+  EXPECT_EQ(*table.Find(7), 200u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SparseTable, SurvivesRehashWithScatteredKeys) {
+  SparseTable<uint64_t> table;
+  // Keys drawn from a vast space (the BMT regime: sparse lbn -> pa), enough
+  // inserts to force several rehashes.
+  constexpr uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t key = i * 0x9E3779B97F4A7C15ULL;
+    table.Set(key, i + 1);
+  }
+  EXPECT_EQ(table.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t key = i * 0x9E3779B97F4A7C15ULL;
+    EXPECT_EQ(table.Get(key), i + 1) << "key index " << i;
+  }
+  // ForEach visits every entry exactly once.
+  uint64_t visited = 0;
+  table.ForEach([&](uint64_t, uint64_t& v) {
+    ++visited;
+    EXPECT_GT(v, 0u);
+  });
+  EXPECT_EQ(visited, kN);
+  EXPECT_GT(table.allocated_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ZNS sparse zone state
+
+ZnsConfig SmallZns() {
+  ZnsConfig config = ZnsConfig::Zn540(/*num_zones=*/16,
+                                      /*zone_capacity_blocks=*/4096);
+  return config;
+}
+
+TEST(ZnsSparseState, ZoneResetReclaimsChunkState) {
+  Simulator sim;
+  ZnsDevice dev(&sim, SmallZns());
+  const uint64_t baseline = dev.ResidentStateBytes();
+
+  std::vector<uint64_t> patterns(1024);
+  for (uint64_t i = 0; i < patterns.size(); ++i) {
+    patterns[i] = 0xA000 + i;
+  }
+  ASSERT_TRUE(ZnsWriteSync(&sim, &dev, /*zone=*/3, /*offset=*/0, patterns).ok());
+  const uint64_t written = dev.ResidentStateBytes();
+  EXPECT_GT(written, baseline);
+
+  ASSERT_TRUE(dev.ResetZone(3).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(dev.ResidentStateBytes(), baseline);
+
+  // The recycled zone is reusable: rewrite and read back fresh content.
+  for (auto& p : patterns) {
+    p ^= 0xFFFF;
+  }
+  ASSERT_TRUE(ZnsWriteSync(&sim, &dev, /*zone=*/3, /*offset=*/0, patterns).ok());
+  auto result = ZnsReadSync(&sim, &dev, 3, 0, patterns.size());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->patterns, patterns);
+}
+
+TEST(ZnsSparseState, OobScanOverLazilyAllocatedZone) {
+  Simulator sim;
+  ZnsDevice dev(&sim, SmallZns());
+  const uint64_t cap = dev.config().zone_capacity_blocks;
+
+  // An untouched zone has no written candidates at all.
+  EXPECT_EQ(dev.NextWrittenCandidate(/*zone=*/5, /*from=*/0), cap);
+
+  // Write a short prefix with OOB metadata into zone 2.
+  constexpr uint64_t kPrefix = 64;
+  std::vector<uint64_t> patterns(kPrefix);
+  std::vector<OobRecord> oobs(kPrefix);
+  for (uint64_t i = 0; i < kPrefix; ++i) {
+    patterns[i] = i + 1;
+    oobs[i].lbn = 1000 + i;
+    oobs[i].sn = i;
+  }
+  ASSERT_TRUE(ZnsWriteSync(&sim, &dev, 2, 0, patterns, oobs).ok());
+
+  // The scan starts at the written prefix and every prefix block's OOB is
+  // readable; offsets past the high-water mark are not.
+  EXPECT_EQ(dev.NextWrittenCandidate(2, 0), 0u);
+  for (uint64_t off = 0; off < kPrefix; ++off) {
+    auto oob = dev.ReadOobSync(2, off);
+    ASSERT_TRUE(oob.ok()) << "offset " << off;
+    EXPECT_EQ(oob->lbn, 1000 + off);
+  }
+  EXPECT_FALSE(dev.ReadOobSync(2, kPrefix).ok());
+  // Past the prefix, the candidate scan hops to the zone capacity in O(few)
+  // chunk strides instead of probing each of the remaining blocks.
+  EXPECT_GE(dev.NextWrittenCandidate(2, kPrefix), kPrefix);
+}
+
+// ---------------------------------------------------------------------------
+// NAND run-API equivalence: a run is defined as exactly N back-to-back
+// per-page commands, so per-page completion times must match bit-for-bit.
+
+TEST(NandRunApi, WriteRunMatchesPerPageWrites) {
+  NandTimingConfig timing;
+  Simulator sim_a, sim_b;
+  NandBackend loop(&sim_a, timing);
+  NandBackend run(&sim_b, timing);
+  constexpr uint64_t kPages = 37;
+  constexpr uint64_t kPageBytes = 4096;
+
+  std::vector<SimTime> loop_done;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    loop_done.push_back(loop.Write(/*channel=*/2, kPageBytes));
+  }
+  std::vector<SimTime> run_done;
+  const SimTime last = run.WriteRun(2, kPages, kPageBytes, &run_done);
+
+  EXPECT_EQ(run_done, loop_done);
+  EXPECT_EQ(last, loop_done.back());
+  EXPECT_EQ(run.channel_stats(2).bytes_written,
+            loop.channel_stats(2).bytes_written);
+  EXPECT_EQ(run.channel_stats(2).bus_busy_ns, loop.channel_stats(2).bus_busy_ns);
+}
+
+TEST(NandRunApi, ReadRunMatchesPerPageReads) {
+  NandTimingConfig timing;
+  Simulator sim_a, sim_b;
+  NandBackend loop(&sim_a, timing);
+  NandBackend run(&sim_b, timing);
+  constexpr uint64_t kPages = 23;
+  constexpr uint64_t kPageBytes = 4096;
+
+  std::vector<SimTime> loop_done;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    loop_done.push_back(loop.Read(/*channel=*/0, kPageBytes));
+  }
+  std::vector<SimTime> run_done;
+  const SimTime last = run.ReadRun(0, kPages, kPageBytes, &run_done);
+
+  EXPECT_EQ(run_done, loop_done);
+  EXPECT_EQ(last, loop_done.back());
+  EXPECT_EQ(run.channel_stats(0).bytes_read, loop.channel_stats(0).bytes_read);
+}
+
+TEST(NandRunApi, ProgramRunMatchesPerPageBackgroundPrograms) {
+  NandTimingConfig timing;
+  Simulator sim_a, sim_b;
+  NandBackend loop(&sim_a, timing);
+  NandBackend run(&sim_b, timing);
+  constexpr uint64_t kPages = 17;
+  constexpr uint64_t kPageBytes = 4096;
+
+  SimTime loop_last = 0;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    loop_last = loop.BackgroundProgram(/*channel=*/5, kPageBytes);
+  }
+  EXPECT_EQ(run.ProgramRun(5, kPages, kPageBytes), loop_last);
+}
+
+TEST(NandRunApi, RunInterleavesWithSubsequentCommandsLikeALoop) {
+  // A run must leave the channel/die resources in exactly the state a
+  // per-page loop would: the *next* command after the run sees the same
+  // completion time either way.
+  NandTimingConfig timing;
+  Simulator sim_a, sim_b;
+  NandBackend loop(&sim_a, timing);
+  NandBackend run(&sim_b, timing);
+
+  for (uint64_t p = 0; p < 11; ++p) {
+    loop.Write(1, 4096);
+  }
+  const SimTime loop_next = loop.Read(1, 4096);
+
+  run.WriteRun(1, 11, 4096);
+  EXPECT_EQ(run.Read(1, 4096), loop_next);
+}
+
+// ---------------------------------------------------------------------------
+// Dense-vs-sparse equivalence: the storage representation must not change
+// behaviour — completion timing and content are bit-identical.
+
+TEST(DenseSparseEquivalence, ZnsDeviceTimingAndContentIdentical) {
+  ZnsConfig sparse_config = SmallZns();
+  ZnsConfig dense_config = SmallZns();
+  dense_config.dense_state = true;
+
+  Simulator sim_sparse, sim_dense;
+  ZnsDevice sparse(&sim_sparse, sparse_config);
+  ZnsDevice dense(&sim_dense, dense_config);
+
+  for (auto* pair : {&sparse, &dense}) {
+    Simulator* sim = pair == &sparse ? &sim_sparse : &sim_dense;
+    for (uint32_t zone = 0; zone < 4; ++zone) {
+      std::vector<uint64_t> patterns(512);
+      for (uint64_t i = 0; i < patterns.size(); ++i) {
+        patterns[i] = zone * 10000 + i;
+      }
+      ASSERT_TRUE(ZnsWriteSync(sim, pair, zone, 0, patterns).ok());
+    }
+    ASSERT_TRUE(pair->ResetZone(1).ok());
+    sim->RunUntilIdle();
+  }
+
+  // Same workload, same seed: the event timelines must be identical.
+  EXPECT_EQ(sim_sparse.Now(), sim_dense.Now());
+  EXPECT_EQ(sim_sparse.fired_events(), sim_dense.fired_events());
+
+  auto a = ZnsReadSync(&sim_sparse, &sparse, 3, 0, 512);
+  auto b = ZnsReadSync(&sim_dense, &dense, 3, 0, 512);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->patterns, b->patterns);
+
+  // And the point of the sparse representation: a dense device pays for
+  // raw capacity up front, the sparse one only for what was written.
+  EXPECT_LT(sparse.ResidentStateBytes(), dense.ResidentStateBytes());
+}
+
+// fig10-style short run: a full BIZA array over dense vs sparse member
+// devices produces a byte-identical DriverReport.
+DriverReport RunShortBizaMicro(bool dense) {
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/48, /*zone_capacity_blocks=*/1024);
+  config.zns.dense_state = dense;
+  config.conv.dense_state = dense;
+  config.MatchConvCapacity();
+  config.seed = 11;
+
+  Simulator sim;
+  auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
+  MicroWorkload workload(/*sequential=*/false, /*write=*/true,
+                         /*request_blocks=*/16,
+                         platform->block()->capacity_blocks(), /*seed=*/7);
+  Driver driver(&sim, platform->block(), &workload, /*iodepth=*/16);
+  return driver.Run(/*max_requests=*/4000, /*max_duration=*/600 * kSecond);
+}
+
+TEST(DenseSparseEquivalence, BizaDriverRunByteIdentical) {
+  const DriverReport sparse = RunShortBizaMicro(/*dense=*/false);
+  const DriverReport dense = RunShortBizaMicro(/*dense=*/true);
+  EXPECT_GT(sparse.requests_completed, 0u);
+  EXPECT_EQ(sparse.bytes_written, dense.bytes_written);
+  EXPECT_EQ(sparse.bytes_read, dense.bytes_read);
+  EXPECT_EQ(sparse.requests_completed, dense.requests_completed);
+  EXPECT_EQ(sparse.elapsed_ns, dense.elapsed_ns);
+  EXPECT_EQ(sparse.write_latency.Percentile(50),
+            dense.write_latency.Percentile(50));
+  EXPECT_EQ(sparse.write_latency.Percentile(99.9),
+            dense.write_latency.Percentile(99.9));
+}
+
+// ---------------------------------------------------------------------------
+// Batched-vs-legacy GC equivalence: batching changes the event budget, not
+// what lands on flash. Content must match; accounting stays equal where the
+// semantics are unchanged.
+
+TEST(BatchedGcEquivalence, ConvSsdContentAndAccountingMatchLegacy) {
+  ConvSsdConfig batched_config;
+  batched_config.capacity_blocks = 16384;
+  batched_config.pages_per_flash_block = 256;
+  batched_config.over_provision = 0.15;
+  batched_config.dispatch_jitter_ns = 0;
+  ConvSsdConfig legacy_config = batched_config;
+  batched_config.batched_gc_io = true;
+  legacy_config.batched_gc_io = false;
+
+  Simulator sim_batched, sim_legacy;
+  ConvSsd batched(&sim_batched, batched_config);
+  ConvSsd legacy(&sim_legacy, legacy_config);
+
+  // Random overwrites confined to half the capacity: victims retain live
+  // pages, so GC must migrate (sequential overwrites would only produce
+  // fully-dead victims and the batched path would never run).
+  auto drive = [](Simulator* sim, ConvSsd* dev) {
+    Rng rng(5);
+    for (uint64_t req = 0; req < 1600; ++req) {
+      const uint64_t lbn = rng.Uniform(8192 / 64) * 64;
+      std::vector<uint64_t> patterns(64);
+      for (uint64_t i = 0; i < 64; ++i) {
+        patterns[i] = req * 1000000 + lbn + i;
+      }
+      Status out = InternalError("never completed");
+      dev->SubmitWrite(lbn, std::move(patterns),
+                       [&out](const Status& s) { out = s; });
+      sim->RunUntilIdle();
+      ASSERT_TRUE(out.ok());
+    }
+  };
+  drive(&sim_batched, &batched);
+  drive(&sim_legacy, &legacy);
+
+  ASSERT_GT(batched.stats().flash_programmed_blocks,
+            batched.stats().host_written_blocks)
+      << "workload did not trigger GC; equivalence check is vacuous";
+
+  for (uint64_t lbn = 0; lbn < 8192; lbn += 509) {
+    auto a = batched.ReadPatternSync(lbn);
+    auto b = legacy.ReadPatternSync(lbn);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "lbn " << lbn;
+  }
+  EXPECT_EQ(batched.stats().host_written_blocks,
+            legacy.stats().host_written_blocks);
+  EXPECT_EQ(batched.stats().flash_programmed_blocks,
+            legacy.stats().flash_programmed_blocks);
+}
+
+struct BizaGcRun {
+  std::vector<uint64_t> content;
+  uint64_t gc_runs = 0;
+};
+
+// Random overwrite churn at 2x exposed capacity through a tight array,
+// driven synchronously against a truth map: every block's final content is
+// known exactly, so a single migrated chunk the GC (or the batched gather
+// path) corrupts is caught.
+BizaGcRun RunGcHeavyBiza(bool batched) {
+  Simulator sim;
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::vector<ZnsDevice*> ptrs;
+  for (int d = 0; d < 4; ++d) {
+    ZnsConfig dc = ZnsConfig::Zn540(/*num_zones=*/24,
+                                    /*zone_capacity_blocks=*/256);
+    dc.seed = static_cast<uint64_t>(d) + 1;
+    devs.push_back(std::make_unique<ZnsDevice>(&sim, dc));
+    ptrs.push_back(devs.back().get());
+  }
+  BizaConfig config;
+  config.batched_gc_io = batched;
+  config.exposed_capacity_ratio = 0.45;
+  // Stock watermarks (stop at 28% free zones) sit above the reachable
+  // equilibrium once churn decays stripes (each 1-2-chunk stripe still pins
+  // a parity block), which would leave GC running forever; aim lower so
+  // collection triggers, reclaims, and quiesces.
+  config.gc_trigger_free_ratio = 0.10;
+  config.gc_stop_free_ratio = 0.14;
+  BizaArray array(&sim, ptrs, config);
+
+  const uint64_t cap = array.capacity_blocks();
+  constexpr uint64_t kReq = 8;
+  std::vector<uint64_t> truth(cap, 0);
+  Rng rng(13);
+  const uint64_t requests = 2 * cap / kReq;
+  for (uint64_t r = 0; r < requests; ++r) {
+    const uint64_t lbn = rng.Uniform(cap / kReq) * kReq;
+    std::vector<uint64_t> patterns(kReq);
+    for (uint64_t i = 0; i < kReq; ++i) {
+      patterns[i] = (r << 20) | (lbn + i) | 1;
+      truth[lbn + i] = patterns[i];
+    }
+    Status out = InternalError("never completed");
+    array.SubmitWrite(lbn, std::move(patterns),
+                      [&out](const Status& s) { out = s; }, WriteTag::kData);
+    sim.RunUntilIdle();
+    EXPECT_TRUE(out.ok()) << "req " << r << ": " << out.ToString();
+  }
+
+  BizaGcRun result;
+  result.gc_runs = array.stats().gc_runs;
+  result.content.assign(cap, 0);
+  for (uint64_t lbn = 0; lbn < cap; lbn += kReq) {
+    const uint64_t n = std::min(kReq, cap - lbn);
+    Status status = InternalError("never completed");
+    std::vector<uint64_t> out;
+    array.SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    EXPECT_TRUE(status.ok()) << "lbn " << lbn;
+    for (uint64_t i = 0; i < out.size(); ++i) {
+      result.content[lbn + i] = out[i];
+    }
+  }
+  EXPECT_EQ(result.content, truth) << "GC corrupted migrated content";
+  return result;
+}
+
+TEST(BatchedGcEquivalence, BizaGcPreservesContentUnderBatching) {
+  const BizaGcRun batched = RunGcHeavyBiza(/*batched=*/true);
+  const BizaGcRun legacy = RunGcHeavyBiza(/*batched=*/false);
+  ASSERT_GT(batched.gc_runs, 0u)
+      << "workload did not trigger GC; equivalence check is vacuous";
+  ASSERT_GT(legacy.gc_runs, 0u);
+  // Same workload, same devices: batched and legacy GC land identical data.
+  EXPECT_EQ(batched.content, legacy.content);
+}
+
+}  // namespace
+}  // namespace biza

@@ -5,13 +5,19 @@
 //   afa_bench [--platform=BIZA] [--workload=casa|seqwrite|randread|...]
 //             [--requests=N] [--iodepth=N] [--size-kb=N] [--seconds=S]
 //             [--zones=N] [--zone-mb=N] [--zrwa-kb=N] [--num-parity=M]
-//             [--deviation=P] [--expose-channels] [--verify]
-//             [--seeds=N] [--threads=T]
+//             [--full-geometry] [--deviation=P] [--expose-channels]
+//             [--verify] [--seeds=N] [--threads=T]
 //             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
 //             [--trace=FILE] [--trace-start=S] [--trace-end=S]
 //             [--sample-csv=FILE] [--sample-interval-ms=M] [--stats]
 //
 //   afa_bench --list            # platforms and workloads
+//
+// --full-geometry swaps the scaled testbed for the real ZN540 layout
+// (904 zones x 1077 MiB per SSD, 4 SSDs). Sparse per-zone state keeps
+// resident memory proportional to written data, so the full array fits in a
+// few GiB of host RAM; a peak-RSS line is printed for the CI smoke to assert
+// against. Overrides --zones / --zone-mb.
 //
 // --seeds=N repeats the experiment with N different RNG seeds (independent
 // Simulator per seed, run concurrently via the parallel runner) and reports
@@ -52,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rss.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
 #include "src/sim/parallel_runner.h"
@@ -76,6 +83,7 @@ struct Options {
   uint64_t zone_mb = 8;
   uint64_t zrwa_kb = 1024;
   int num_parity = 1;
+  bool full_geometry = false;
   double deviation = 0.0;
   bool expose_channels = false;
   bool verify = false;
@@ -117,6 +125,7 @@ void PrintUsage() {
       "            fillseekseq\n"
       "options   : --requests=N --iodepth=N --size-kb=N --seconds=S\n"
       "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
+      "            --full-geometry (904 zones x 1077 MiB, real ZN540)\n"
       "            --deviation=P --expose-channels --verify\n"
       "            --seeds=N --threads=T\n"
       "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n"
@@ -427,6 +436,11 @@ bool ParsePair(const std::string& value, char sep, int* device, double* num) {
 
 }  // namespace
 
+void ApplyFullGeometry(Options* opt) {
+  opt->zones = ZnsConfig::kFullZn540Zones;
+  opt->zone_mb = ZnsConfig::kFullZn540ZoneBlocks * kBlockSize / kMiB;
+}
+
 int main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -454,6 +468,8 @@ int main(int argc, char** argv) {
       opt.zrwa_kb = strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--num-parity", &value)) {
       opt.num_parity = atoi(value.c_str());
+    } else if (strcmp(argv[i], "--full-geometry") == 0) {
+      opt.full_geometry = true;
     } else if (ParseFlag(argv[i], "--deviation", &value)) {
       opt.deviation = atof(value.c_str());
     } else if (strcmp(argv[i], "--expose-channels") == 0) {
@@ -503,6 +519,10 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (opt.full_geometry) {
+    ApplyFullGeometry(&opt);
   }
 
   // One job per seed, each on its own Simulator; results come back in
@@ -579,6 +599,12 @@ int main(int argc, char** argv) {
     std::printf("-- final stats (seed 0) --\n%s",
                 results[0].stats_text.c_str());
     std::printf("BENCH_HISTOGRAMS %s\n", results[0].histograms_json.c_str());
+  }
+  if (opt.full_geometry) {
+    // Machine-readable for the CI full-geometry smoke, which asserts a
+    // peak-RSS ceiling (sparse state keeps the full array in a few GiB).
+    std::printf("BENCH_RSS {\"rss_peak_mb\":%.1f}\n",
+                static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
   }
   return 0;
 }

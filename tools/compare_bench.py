@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Per-PR simulator-performance gate.
+
+Compares a freshly generated BENCH_sim.json against the committed one and
+fails (exit 1) when simulation throughput regressed by more than the
+threshold (default 15%) on any series:
+
+  - sim_perf entries: google-benchmark median items_per_second per case,
+  - bench_metrics entries: events_per_s per figure/table bench.
+
+Usage:
+    tools/run_benches.sh --quick          # writes a fresh BENCH_sim.json
+    tools/compare_bench.py FRESH [BASELINE] [--threshold=0.15]
+
+BASELINE defaults to the committed copy (`git show HEAD:BENCH_sim.json`).
+New benches (present only in FRESH) and removed ones are reported but never
+fail the gate; only a matched series that got slower can.
+
+Stdlib only — runs anywhere python3 exists.
+"""
+
+import json
+import subprocess
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_fresh(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def load_baseline(path):
+    if path is not None:
+        return load_fresh(path)
+    out = subprocess.run(
+        ["git", "show", "HEAD:BENCH_sim.json"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def series(doc):
+    """Flattens a BENCH_sim.json document into {name: throughput}."""
+    out = {}
+    for entry in doc.get("sim_perf") or []:
+        name = entry.get("name")
+        ips = entry.get("items_per_second")
+        if name and ips:
+            out["sim_perf:" + name] = float(ips)
+    for entry in doc.get("bench_metrics") or []:
+        name = entry.get("bench")
+        eps = entry.get("events_per_s")
+        if name and eps:
+            out["bench:" + name] = float(eps)
+    return out
+
+
+def main(argv):
+    threshold = DEFAULT_THRESHOLD
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if not paths or len(paths) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    fresh = series(load_fresh(paths[0]))
+    baseline = series(load_baseline(paths[1] if len(paths) == 2 else None))
+
+    failed = False
+    for name in sorted(set(fresh) | set(baseline)):
+        if name not in baseline:
+            print(f"  NEW      {name}: {fresh[name]:.3e}")
+            continue
+        if name not in fresh:
+            print(f"  REMOVED  {name} (was {baseline[name]:.3e})")
+            continue
+        old, new = baseline[name], fresh[name]
+        delta = (new - old) / old
+        status = "ok"
+        if delta < -threshold:
+            status = "REGRESSED"
+            failed = True
+        print(f"  {status:9s}{name}: {old:.3e} -> {new:.3e} ({delta:+.1%})")
+
+    if failed:
+        print(
+            f"\nFAIL: at least one series regressed by more than "
+            f"{threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no series regressed by more than {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
