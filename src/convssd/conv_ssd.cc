@@ -108,11 +108,13 @@ void ConvSsd::AttachObservability(Observability* obs, int device_id) {
 
 void ConvSsd::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                           WriteCallback cb, WriteTag tag) {
-  sim_->Schedule(DispatchDelay(),
-                 [this, lbn, patterns = std::move(patterns),
-                  cb = std::move(cb), tag]() mutable {
-                   DoWrite(lbn, std::move(patterns), std::move(cb), tag);
-                 });
+  // Arrival is anchored on the host clock (the submitting event's time);
+  // unsharded, HostNow() == Now().
+  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(),
+                   [this, lbn, patterns = std::move(patterns),
+                    cb = std::move(cb), tag]() mutable {
+                     DoWrite(lbn, std::move(patterns), std::move(cb), tag);
+                   });
 }
 
 uint64_t ConvSsd::AllocatePage(int channel) {
@@ -272,14 +274,18 @@ bool ConvSsd::CollectOne() {
 
 void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                       WriteCallback cb, WriteTag tag) {
+  auto fail = [this, &cb](Status status) {
+    sim_->CompleteNow(
+        [cb = std::move(cb), status = std::move(status)] { cb(status); });
+  };
   Status fault = FaultCheck(IoKind::kWrite);
   if (!fault.ok()) {
-    cb(fault);
+    fail(std::move(fault));
     return;
   }
   const uint64_t n = patterns.size();
   if (n == 0 || lbn + n > config_.capacity_blocks) {
-    cb(OutOfRangeError("write beyond capacity"));
+    fail(OutOfRangeError("write beyond capacity"));
     return;
   }
   SimTime done = sim_->Now();
@@ -315,23 +321,28 @@ void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
   stats_.host_written_blocks += n;
   stats_.flash_programmed_blocks += n;
   stats_.flash_by_tag[static_cast<int>(tag)] += n;
-  sim_->ScheduleAt(Stretch(done), [cb = std::move(cb)]() { cb(OkStatus()); });
+  sim_->CompleteAt(Stretch(done), [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ConvSsd::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
-  sim_->Schedule(DispatchDelay(), [this, lbn, nblocks, cb = std::move(cb)]() mutable {
-    DoRead(lbn, nblocks, std::move(cb));
-  });
+  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(),
+                   [this, lbn, nblocks, cb = std::move(cb)]() mutable {
+                     DoRead(lbn, nblocks, std::move(cb));
+                   });
 }
 
 void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
+  auto fail = [this, &cb](Status status) {
+    sim_->CompleteNow(
+        [cb = std::move(cb), status = std::move(status)] { cb(status, {}); });
+  };
   Status fault = FaultCheck(IoKind::kRead);
   if (!fault.ok()) {
-    cb(fault, {});
+    fail(std::move(fault));
     return;
   }
   if (nblocks == 0 || lbn + nblocks > config_.capacity_blocks) {
-    cb(OutOfRangeError("read beyond capacity"), {});
+    fail(OutOfRangeError("read beyond capacity"));
     return;
   }
   std::vector<uint64_t> patterns;
@@ -348,7 +359,7 @@ void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   }
   stats_.host_read_blocks += nblocks;
   const SimTime done = backend_->Read(channel, nblocks * kBlockSize);
-  sim_->ScheduleAt(Stretch(done),
+  sim_->CompleteAt(Stretch(done),
                    [cb = std::move(cb), patterns = std::move(patterns)]() mutable {
                      cb(OkStatus(), std::move(patterns));
                    });

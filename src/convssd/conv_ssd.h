@@ -143,13 +143,18 @@ class ConvSsd {
 
   SimTime DispatchDelay();
 
+  // Explicit-now variants: the injector must see this device's clock, not
+  // the host's, when the device drains on a shard thread (identical when
+  // unsharded).
   Status FaultCheck(IoKind kind) {
-    return fault_ != nullptr ? fault_->OnIo(fault_device_id_, kind)
-                             : OkStatus();
+    return fault_ != nullptr
+               ? fault_->OnIo(fault_device_id_, kind, sim_->Now())
+               : OkStatus();
   }
   SimTime Stretch(SimTime done) const {
     return fault_ != nullptr
-               ? fault_->StretchCompletion(fault_device_id_, -1, done)
+               ? fault_->StretchCompletion(fault_device_id_, -1, done,
+                                           sim_->Now())
                : done;
   }
 

@@ -69,49 +69,51 @@ void FaultInjector::ClearDeviceFaults(int device) {
   state.pending_read_errors = 0;
 }
 
-bool FaultInjector::IsDead(int device) const {
+bool FaultInjector::IsDead(int device, SimTime now) const {
   const DeviceState* state = FindState(device);
   return state != nullptr && state->spec.die_at != 0 &&
-         sim_->Now() >= state->spec.die_at;
+         now >= state->spec.die_at;
 }
 
-Status FaultInjector::OnIo(int device, IoKind kind) {
+Status FaultInjector::OnIo(int device, IoKind kind, SimTime now) {
   if (FindState(device) == nullptr) {
     return OkStatus();
   }
-  if (IsDead(device)) {
-    stats_.unavailable_rejections++;
+  // Note: only this device's state is touched from here on — the hook is
+  // called concurrently from different shard threads for different devices.
+  DeviceState& state = StateFor(device);
+  if (IsDead(device, now)) {
+    state.stats.unavailable_rejections++;
     return UnavailableError("device " + std::to_string(device) + " dead");
   }
-  DeviceState& state = StateFor(device);
   if (kind == IoKind::kWrite) {
     if (state.pending_write_errors > 0) {
       state.pending_write_errors--;
-      stats_.injected_write_errors++;
+      state.stats.injected_write_errors++;
       return DeviceErrorStatus("scripted write error");
     }
     if (state.spec.write_error_prob > 0.0 &&
         state.rng.Chance(state.spec.write_error_prob)) {
-      stats_.injected_write_errors++;
+      state.stats.injected_write_errors++;
       return DeviceErrorStatus("transient write error");
     }
   } else {
     if (state.pending_read_errors > 0) {
       state.pending_read_errors--;
-      stats_.injected_read_errors++;
+      state.stats.injected_read_errors++;
       return DeviceErrorStatus("scripted read error");
     }
     if (state.spec.read_error_prob > 0.0 &&
         state.rng.Chance(state.spec.read_error_prob)) {
-      stats_.injected_read_errors++;
+      state.stats.injected_read_errors++;
       return DeviceErrorStatus("transient read error");
     }
   }
   return OkStatus();
 }
 
-SimTime FaultInjector::StretchCompletion(int device, int channel,
-                                         SimTime done) const {
+SimTime FaultInjector::StretchCompletion(int device, int channel, SimTime done,
+                                         SimTime now) const {
   const DeviceState* state = FindState(device);
   if (state == nullptr) {
     return done;
@@ -126,9 +128,18 @@ SimTime FaultInjector::StretchCompletion(int device, int channel,
   if (mult <= 1.0) {
     return done;
   }
-  const SimTime now = sim_->Now();
   const SimTime span = done > now ? done - now : 0;
   return now + static_cast<SimTime>(static_cast<double>(span) * mult);
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats total;
+  for (const DeviceState& state : devices_) {
+    total.injected_read_errors += state.stats.injected_read_errors;
+    total.injected_write_errors += state.stats.injected_write_errors;
+    total.unavailable_rejections += state.stats.unavailable_rejections;
+  }
+  return total;
 }
 
 }  // namespace biza

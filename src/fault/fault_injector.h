@@ -94,18 +94,31 @@ class FaultInjector {
 
   // Consulted at command arrival (post dispatch delay). Returns non-OK if
   // the command must fail: kUnavailable once the device is dead,
-  // kDeviceError for a transient fault.
-  Status OnIo(int device, IoKind kind);
+  // kDeviceError for a transient fault. The explicit-now overload lets a
+  // device on a shard clock evaluate the fault plan against its own time;
+  // each call touches only that device's state, so shards drain
+  // concurrently without sharing anything mutable.
+  Status OnIo(int device, IoKind kind) {
+    return OnIo(device, kind, sim_->Now());
+  }
+  Status OnIo(int device, IoKind kind, SimTime now);
 
-  // True once `device` is dead at the current simulated time.
-  bool IsDead(int device) const;
+  // True once `device` is dead at the given (or current) simulated time.
+  bool IsDead(int device) const { return IsDead(device, sim_->Now()); }
+  bool IsDead(int device, SimTime now) const;
 
   // Stretches the media span of a completion: returns
   // now + (done - now) * mult for the device (and channel, if faulted).
   // `channel` < 0 means "no channel attribution" (e.g. ConvSsd internals).
-  SimTime StretchCompletion(int device, int channel, SimTime done) const;
+  SimTime StretchCompletion(int device, int channel, SimTime done) const {
+    return StretchCompletion(device, channel, done, sim_->Now());
+  }
+  SimTime StretchCompletion(int device, int channel, SimTime done,
+                            SimTime now) const;
 
-  const FaultStats& stats() const { return stats_; }
+  // Aggregated over all devices (counters live per device so concurrent
+  // shard drains never write a shared cell).
+  FaultStats stats() const;
 
  private:
   struct DeviceState {
@@ -114,6 +127,7 @@ class FaultInjector {
     int pending_write_errors = 0;
     int pending_read_errors = 0;
     Rng rng;
+    FaultStats stats;
 
     explicit DeviceState(uint64_t seed) : rng(seed) {}
   };
@@ -124,7 +138,6 @@ class FaultInjector {
   Simulator* sim_;
   uint64_t seed_;
   std::vector<DeviceState> devices_;
-  FaultStats stats_;
 };
 
 }  // namespace biza

@@ -1,0 +1,214 @@
+#include "src/sim/shard_router.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace biza {
+namespace {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline SimTime SaturatingAdd(SimTime a, SimTime b) {
+  const SimTime sum = a + b;
+  return sum < a ? Simulator::kNoEvent : sum;
+}
+
+}  // namespace
+
+int DefaultSimShards() {
+  const char* env = std::getenv("BIZA_SIM_SHARDS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  const long v = std::strtol(env, nullptr, 10);
+  if (v < 1) {
+    return 1;
+  }
+  return v > 64 ? 64 : static_cast<int>(v);
+}
+
+ShardRouter::ShardRouter(Simulator* host, int num_shards, SimTime lookahead_ns)
+    : host_(host), lookahead_(lookahead_ns) {
+  assert(num_shards >= 1);
+  assert(lookahead_ns > 0 && "zero lookahead cannot make progress");
+  assert(host_->router() == nullptr && "host already has a router");
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->sim.SetOutbox(&s->outbox);
+    s->sim.SetHostSim(host_);
+    shards_.push_back(std::move(s));
+  }
+  host_->SetRouter(this);
+  // Spinning only pays when the partner thread can actually run at the
+  // same time; on a single-core box every barrier edge needs a reschedule,
+  // so go straight to the condition variable.
+  spin_limit_ = std::thread::hardware_concurrency() > 1 ? 2048 : 0;
+  workers_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  stop_.store(true, std::memory_order_relaxed);
+  round_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  host_->SetRouter(nullptr);
+}
+
+void ShardRouter::WorkerMain(int index) {
+  Simulator& sim = shards_[static_cast<size_t>(index)]->sim;
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t round = round_.load(std::memory_order_acquire);
+    for (int spins = 0; round == seen; round = round_.load(std::memory_order_acquire)) {
+      if (++spins < spin_limit_) {
+        CpuRelax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      round = round_.load(std::memory_order_acquire);
+      if (round != seen) {
+        break;
+      }
+      wake_cv_.wait(lock);
+      spins = 0;
+    }
+    seen = round;
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    sim.DrainBelow(horizon_.load(std::memory_order_relaxed));
+    if (pending_.fetch_sub(1, std::memory_order_release) == 1) {
+      // Last one out wakes the router if it already went to sleep.
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardRouter::RunRounds(SimTime deadline) {
+  assert(!in_rounds_ && "re-entrant run on a sharded simulator");
+  in_rounds_ = true;
+  const SimTime cap = SaturatingAdd(deadline, 1);  // drain events <= deadline
+  for (;;) {
+    SimTime next = host_->NextEventTime();
+    for (const auto& s : shards_) {
+      const SimTime t = s->sim.NextEventTime();
+      if (t < next) {
+        next = t;
+      }
+    }
+    if (next == Simulator::kNoEvent || next > deadline) {
+      break;
+    }
+    SimTime horizon = SaturatingAdd(next, lookahead_);
+    if (horizon > cap) {
+      horizon = cap;
+    }
+
+    // D-phase, skipped when no shard has work under the horizon (a window
+    // where only host events fire — common while requests are being formed).
+    bool device_work = false;
+    for (const auto& s : shards_) {
+      if (s->sim.NextEventTime() < horizon) {
+        device_work = true;
+        break;
+      }
+    }
+    if (device_work) {
+      horizon_.store(horizon, std::memory_order_relaxed);
+      pending_.store(num_shards(), std::memory_order_relaxed);
+      round_.fetch_add(1, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+      }
+      wake_cv_.notify_all();
+      for (int spins = 0;
+           pending_.load(std::memory_order_acquire) != 0; ++spins) {
+        if (spins < spin_limit_) {
+          CpuRelax();
+          continue;
+        }
+        std::unique_lock<std::mutex> lock(done_mutex_);
+        if (pending_.load(std::memory_order_acquire) != 0) {
+          done_cv_.wait(lock);
+        }
+        spins = 0;
+      }
+    }
+
+    // Merge completions, shard-index order then FIFO within a shard.
+    for (const auto& s : shards_) {
+      for (ShardOutbox::Message& msg : s->outbox.messages()) {
+        host_->ScheduleAt(msg.when, std::move(msg.fn));
+      }
+      s->outbox.clear();
+    }
+
+    // E-phase, floors armed so a host event dispatching inside the safe
+    // horizon trips the violation check on the receiving shard.
+    for (const auto& s : shards_) {
+      s->sim.SetScheduleFloor(horizon);
+    }
+    host_->DrainBelow(horizon);
+  }
+  // Disarm: between runs the driver submits from the (not yet advanced)
+  // host clock, legitimately landing arrivals below the last horizon.
+  for (const auto& s : shards_) {
+    s->sim.SetScheduleFloor(0);
+  }
+  in_rounds_ = false;
+}
+
+SimTime ShardRouter::RunUntilIdle() {
+  RunRounds(Simulator::kNoEvent);
+  return host_->Now();
+}
+
+void ShardRouter::RunUntil(SimTime deadline) {
+  RunRounds(deadline);
+  if (host_->now_ < deadline) {
+    host_->now_ = deadline;
+  }
+}
+
+void ShardRouter::DropPending() {
+  host_->DropPendingLocal();
+  for (const auto& s : shards_) {
+    s->sim.DropPendingLocal();
+    s->outbox.clear();  // destroys parked completion callbacks
+    s->sim.SetScheduleFloor(0);
+  }
+}
+
+uint64_t ShardRouter::TotalFired() const {
+  uint64_t total = host_->fired_events();
+  for (const auto& s : shards_) {
+    total += s->sim.fired_events();
+  }
+  return total;
+}
+
+uint64_t ShardRouter::FloorViolations() const {
+  uint64_t total = host_->floor_violations();
+  for (const auto& s : shards_) {
+    total += s->sim.floor_violations();
+  }
+  return total;
+}
+
+}  // namespace biza

@@ -1,0 +1,135 @@
+// Conservative-lookahead sharded PDES: one host logical clock plus N device
+// shard clocks advancing in lockstep windows.
+//
+// Topology is a star. The host Simulator runs every engine, driver, and
+// RAID layer; each device shard runs the event queue of one or more member
+// SSDs (assigned round-robin). The only cross-clock edges are:
+//
+//   host -> device : dispatch arrivals. A Submit* call made from a host
+//                    event schedules the arrival on the device shard at
+//                    HostNow() + dispatch latency, and every device config
+//                    has dispatch_base_ns > 0 — that floor is the lookahead
+//                    window L (the NAND op-latency floors of Doekemeijer et
+//                    al. sit behind it and only push completions later).
+//   device -> host : completions. Devices never touch the host heap
+//                    directly; Simulator::CompleteAt/CompleteNow append
+//                    timestamped messages to the shard's ShardOutbox and
+//                    the router merges them at the next phase barrier.
+//
+// Round structure (RunRounds): with N(k) = the minimum next-event time over
+// the host and all shards, the safe horizon is H(k) = N(k) + L.
+//   1. D-phase: every device shard drains its events < H(k) in parallel.
+//      Safe: unscheduled arrivals come from host events >= N(k), so they
+//      land at >= N(k) + L = H(k).
+//   2. Merge: outboxes are appended to the host heap in shard-index order
+//      (FIFO within a shard), so equal-timestamp completions from different
+//      shards always fire in shard order — the sharded determinism
+//      contract. Safe: a completion's timestamp is >= the device event that
+//      produced it, which is >= H(k-1) > every host event already fired.
+//   3. E-phase: the host drains its events < H(k) on the calling thread,
+//      with every device's schedule floor armed at H(k) so a lookahead
+//      violation trips immediately. Complete: any future completion comes
+//      from a device event >= H(k). Synchronous control-plane calls
+//      (OpenZone, ResetZone, Report, ...) execute here while the workers
+//      are parked; they may observe device state up to L in the future,
+//      which is deterministic and bounded by the 2 us window.
+// Every event everywhere is >= H(k) once round k retires, so horizons
+// advance by >= L per round and the loop terminates.
+//
+// Workers synchronize through spin barriers (a full run is ~1M rounds of a
+// few microseconds of simulated time each; futex wakeups would dominate).
+// Phases never overlap, so shard state needs no locks; the round/pending
+// atomics carry the acquire/release edges.
+//
+// Determinism: the phase sequence, per-shard drain order, and merge order
+// are all independent of thread scheduling, so a run depends only on
+// (seed, shard count). Results legitimately differ from the single-shard
+// engine — completions from different devices interleave by shard order
+// rather than global submission order — hence the separate contract, just
+// like parallel_runner's submission-order rule.
+#ifndef BIZA_SRC_SIM_SHARD_ROUTER_H_
+#define BIZA_SRC_SIM_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace biza {
+
+// Shard count requested via BIZA_SIM_SHARDS (>= 1; absent/invalid -> 1).
+int DefaultSimShards();
+
+class ShardRouter {
+ public:
+  // Attaches to `host` (host->RunUntilIdle()/RunUntil()/DropPending() then
+  // delegate here) and spawns one worker thread per shard. `lookahead_ns`
+  // must be a lower bound on every host->device dispatch latency.
+  ShardRouter(Simulator* host, int num_shards, SimTime lookahead_ns);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  Simulator* shard(int index) { return &shards_[static_cast<size_t>(index)]->sim; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  SimTime lookahead_ns() const { return lookahead_; }
+
+  // fired_events() summed over the host and every shard.
+  uint64_t TotalFired() const;
+  // Lookahead violations recorded by release builds (debug builds assert).
+  uint64_t FloorViolations() const;
+
+  // Entry points, reached via the host Simulator's public API.
+  SimTime RunUntilIdle();
+  void RunUntil(SimTime deadline);
+  void DropPending();
+
+ private:
+  struct Shard {
+    Simulator sim;
+    ShardOutbox outbox;
+  };
+
+  void RunRounds(SimTime deadline);
+  void WorkerMain(int index);
+
+  Simulator* host_;
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Barrier state. round_ is a generation counter: the router publishes
+  // horizon_/pending_ and bumps round_ (release); workers wake on the bump
+  // (acquire), drain, and decrement pending_ (release); the router waits
+  // for pending_ == 0 (acquire). Both sides spin briefly — the partner
+  // phase is sub-microsecond in steady state — then park on a condition
+  // variable, so an undersubscribed box (or a long host phase) never burns
+  // cores. spin_limit_ is 0 when the machine cannot run the partner
+  // concurrently anyway. Separate cache lines keep the worker spin loop off
+  // the line the router writes.
+  alignas(64) std::atomic<uint64_t> round_{0};
+  alignas(64) std::atomic<SimTime> horizon_{0};
+  alignas(64) std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  bool in_rounds_ = false;
+  int spin_limit_ = 0;
+
+  // Sleep path of the adaptive barrier: wake_cv_ parks workers between
+  // rounds, done_cv_ parks the router inside a D-phase. Writers bump the
+  // atomic first, then acquire the mutex and notify; waiters recheck the
+  // atomic under the mutex before sleeping, so wakeups cannot be missed.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_SIM_SHARD_ROUTER_H_

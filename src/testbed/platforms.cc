@@ -31,11 +31,34 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
   platform->config_ = config;
   Platform& p = *platform;
 
+  // Sharded PDES: spread member devices over per-shard logical clocks. The
+  // lookahead window is the dispatch-latency floor of the member device
+  // type — no host->device event can land sooner. Observability hooks run
+  // on shard threads, so an attached sink forces the single-clock engine,
+  // as does a second platform on an already-sharded simulator.
+  const SimTime lookahead = kind == PlatformKind::kMdraidConv
+                                ? config.conv.dispatch_base_ns
+                                : config.zns.dispatch_base_ns;
+  int shards = config.shards > 0 ? config.shards : DefaultSimShards();
+  if (shards > config.num_ssds) {
+    shards = config.num_ssds;
+  }
+  if (shards < 1 || config.obs != nullptr || lookahead == 0 ||
+      sim->router() != nullptr) {
+    shards = 1;
+  }
+  if (shards > 1) {
+    p.router_ = std::make_unique<ShardRouter>(sim, shards, lookahead);
+  }
+  auto device_sim = [&](int d) {
+    return p.router_ ? p.router_->shard(d % p.router_->num_shards()) : sim;
+  };
+
   auto make_zns = [&]() {
     for (int d = 0; d < config.num_ssds; ++d) {
       ZnsConfig zc = config.zns;
       zc.seed = config.seed * 1000003ULL + static_cast<uint64_t>(d);
-      p.zns_.push_back(std::make_unique<ZnsDevice>(sim, zc));
+      p.zns_.push_back(std::make_unique<ZnsDevice>(device_sim(d), zc));
     }
   };
 
@@ -93,7 +116,7 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
       for (int d = 0; d < config.num_ssds; ++d) {
         ConvSsdConfig cc = config.conv;
         cc.seed = config.seed * 2000003ULL + static_cast<uint64_t>(d);
-        p.conv_.push_back(std::make_unique<ConvSsd>(sim, cc));
+        p.conv_.push_back(std::make_unique<ConvSsd>(device_sim(d), cc));
         p.conv_adapters_.push_back(
             std::make_unique<ConvSsdTarget>(p.conv_.back().get()));
         children.push_back(p.conv_adapters_.back().get());
@@ -161,7 +184,10 @@ ZnsDevice* Platform::AddSpareZnsDevice(Simulator* sim) {
   ZnsConfig zc = config_.zns;
   zc.seed = config_.seed * 1000003ULL +
             static_cast<uint64_t>(1000 + next_fault_id_);
-  zns_.push_back(std::make_unique<ZnsDevice>(sim, zc));
+  // Spares join the shard rotation at their fault-plan slot, like members.
+  Simulator* dev_sim =
+      router_ ? router_->shard(next_fault_id_ % router_->num_shards()) : sim;
+  zns_.push_back(std::make_unique<ZnsDevice>(dev_sim, zc));
   const int id = next_fault_id_++;
   zns_.back()->AttachFaultInjector(fault_.get(), id);
   if (config_.obs != nullptr) {
@@ -174,7 +200,9 @@ BlockTarget* Platform::AddSpareConvTarget(Simulator* sim) {
   ConvSsdConfig cc = config_.conv;
   cc.seed = config_.seed * 2000003ULL +
             static_cast<uint64_t>(1000 + next_fault_id_);
-  conv_.push_back(std::make_unique<ConvSsd>(sim, cc));
+  Simulator* dev_sim =
+      router_ ? router_->shard(next_fault_id_ % router_->num_shards()) : sim;
+  conv_.push_back(std::make_unique<ConvSsd>(dev_sim, cc));
   const int id = next_fault_id_++;
   conv_.back()->AttachFaultInjector(fault_.get(), id);
   if (config_.obs != nullptr) {

@@ -27,6 +27,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
+#include "src/sim/shard_router.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_device.h"
 
@@ -53,6 +54,14 @@ struct PlatformConfig {
   RaiznConfig raizn;
   MdraidConfig mdraid;
   uint64_t seed = 1;
+
+  // Sharded-PDES shard count: member devices are spread round-robin over
+  // this many device logical clocks (src/sim/shard_router.h). 0 = take
+  // BIZA_SIM_SHARDS from the environment; 1 = the bit-identical legacy
+  // single-clock engine. Clamped to num_ssds; forced to 1 when an
+  // observability sink is attached (tracer/histogram hooks fire on shard
+  // threads) or the device dispatch floor is zero (no lookahead).
+  int shards = 0;
 
   // Scripted device-fault schedule (device death, fail-slow, transient
   // error rates). Every platform always attaches a FaultInjector to its
@@ -104,6 +113,10 @@ class Platform {
   }
   FaultInjector* faults() { return fault_.get(); }
 
+  // Effective shard count after clamping (1 = legacy single-clock engine).
+  int shards() const { return router_ ? router_->num_shards() : 1; }
+  ShardRouter* router() { return router_.get(); }
+
   // Hot-spare provisioning for online rebuild: creates a fresh, empty
   // member device (with the next fault-plan device id) and returns it. The
   // platform keeps ownership; pass the pointer to BizaArray::ReplaceDevice
@@ -116,6 +129,10 @@ class Platform {
 
   PlatformKind kind_ = PlatformKind::kBiza;
   PlatformConfig config_;
+
+  // Declared before the devices: shard simulators (and their worker
+  // threads) must outlive every device scheduled on them.
+  std::unique_ptr<ShardRouter> router_;
 
   std::unique_ptr<FaultInjector> fault_;
   int next_fault_id_ = 0;

@@ -106,7 +106,10 @@ SimTime ZnsDevice::DispatchDelay() {
 }
 
 void ZnsDevice::AtArrival(std::function<void()> fn) {
-  sim_->Schedule(DispatchDelay(), std::move(fn));
+  // Anchored on the host clock: the submitting engine event decides when
+  // the command was issued. On a device shard sim_->Now() may sit elsewhere
+  // inside the current lookahead window; unsharded, HostNow() == Now().
+  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(), std::move(fn));
 }
 
 Status ZnsDevice::ValidateZoneId(uint32_t zone) const {
@@ -199,30 +202,37 @@ void ZnsDevice::SubmitWrite(uint32_t zone, uint64_t offset,
 void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
                         std::vector<uint64_t> patterns,
                         std::vector<OobRecord> oobs, WriteCallback cb) {
+  // Error completions leave the device with zero device-side latency, so
+  // they too must cross back to the host as messages (CompleteNow); the
+  // unsharded path invokes them inline, exactly as before.
+  auto fail = [this, &cb](Status status) {
+    sim_->CompleteNow(
+        [cb = std::move(cb), status = std::move(status)] { cb(status); });
+  };
   Status status = FaultCheck(IoKind::kWrite);
   if (!status.ok()) {
-    cb(status);
+    fail(std::move(status));
     return;
   }
   status = ValidateZoneId(zone);
   if (!status.ok()) {
-    cb(status);
+    fail(std::move(status));
     return;
   }
   const uint64_t n = patterns.size();
   if (n == 0 || (!oobs.empty() && oobs.size() != n)) {
-    cb(InvalidArgumentError("bad write payload"));
+    fail(InvalidArgumentError("bad write payload"));
     return;
   }
   Zone& z = zones_[zone];
   const uint64_t end = offset + n;
   if (end > z.blocks.size()) {
-    cb(OutOfRangeError("write beyond zone capacity"));
+    fail(OutOfRangeError("write beyond zone capacity"));
     return;
   }
   status = EnsureOpenForWrite(z, zone);
   if (!status.ok()) {
-    cb(status);
+    fail(std::move(status));
     return;
   }
 
@@ -233,9 +243,9 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
     if (offset < z.flush_ptr) {
       // The reorder hazard of §3.2: the window has shifted past this write.
       stats_.write_failures++;
-      cb(WriteFailureError("write at " + std::to_string(offset) +
-                           " behind ZRWA window start " +
-                           std::to_string(z.flush_ptr)));
+      fail(WriteFailureError("write at " + std::to_string(offset) +
+                             " behind ZRWA window start " +
+                             std::to_string(z.flush_ptr)));
       return;
     }
     const uint64_t window_end = z.flush_ptr + config_.zrwa_blocks;
@@ -279,15 +289,15 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
     MaybeTransitionFull(z);
     const SimTime fin = Stretch(z.channel, done);
     ObserveIo(span_write_, h_write_, fin, zone, offset, n);
-    sim_->ScheduleAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
+    sim_->CompleteAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
     return;
   }
 
   // Sequential-write-required zone.
   if (offset != z.flush_ptr) {
     stats_.write_failures++;
-    cb(WriteFailureError("non-sequential write at " + std::to_string(offset) +
-                         ", wptr=" + std::to_string(z.flush_ptr)));
+    fail(WriteFailureError("non-sequential write at " + std::to_string(offset) +
+                           ", wptr=" + std::to_string(z.flush_ptr)));
     return;
   }
   for (uint64_t i = 0; i < n; ++i) {
@@ -305,7 +315,7 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
   MaybeTransitionFull(z);
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_write_, h_write_, fin, zone, offset, n);
-  sim_->ScheduleAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
+  sim_->CompleteAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
@@ -318,34 +328,38 @@ void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
 
 void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
                          std::vector<OobRecord> oobs, AppendCallback cb) {
+  auto fail = [this, &cb](Status status) {
+    sim_->CompleteNow(
+        [cb = std::move(cb), status = std::move(status)] { cb(status, 0); });
+  };
   Status status = FaultCheck(IoKind::kWrite);
   if (!status.ok()) {
-    cb(status, 0);
+    fail(std::move(status));
     return;
   }
   status = ValidateZoneId(zone);
   if (!status.ok()) {
-    cb(status, 0);
+    fail(std::move(status));
     return;
   }
   Zone& z = zones_[zone];
   if (z.with_zrwa) {
     // NVMe ZNS 1.1a: zones opened with ZRWA abort APPEND commands.
-    cb(ZoneStateError("APPEND on a ZRWA zone"), 0);
+    fail(ZoneStateError("APPEND on a ZRWA zone"));
     return;
   }
   const uint64_t n = patterns.size();
   if (n == 0) {
-    cb(InvalidArgumentError("empty append"), 0);
+    fail(InvalidArgumentError("empty append"));
     return;
   }
   if (z.flush_ptr + n > z.blocks.size()) {
-    cb(OutOfRangeError("append beyond zone capacity"), 0);
+    fail(OutOfRangeError("append beyond zone capacity"));
     return;
   }
   status = EnsureOpenForWrite(z, zone);
   if (!status.ok()) {
-    cb(status, 0);
+    fail(std::move(status));
     return;
   }
   const uint64_t offset = z.flush_ptr;
@@ -365,7 +379,7 @@ void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
   MaybeTransitionFull(z);
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_append_, h_write_, fin, zone, offset, n);
-  sim_->ScheduleAt(fin,
+  sim_->CompleteAt(fin,
                    [cb = std::move(cb), offset]() { cb(OkStatus(), offset); });
 }
 
@@ -378,23 +392,27 @@ void ZnsDevice::SubmitRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
 
 void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
                        ReadCallback cb) {
+  auto fail = [this, &cb](Status status) {
+    sim_->CompleteNow(
+        [cb = std::move(cb), status = std::move(status)] { cb(status, {}); });
+  };
   Status status = FaultCheck(IoKind::kRead);
   if (!status.ok()) {
-    cb(status, {});
+    fail(std::move(status));
     return;
   }
   status = ValidateZoneId(zone);
   if (!status.ok()) {
-    cb(status, {});
+    fail(std::move(status));
     return;
   }
   Zone& z = zones_[zone];
   if (nblocks == 0 || offset + nblocks > z.blocks.size()) {
-    cb(OutOfRangeError("read beyond zone capacity"), {});
+    fail(OutOfRangeError("read beyond zone capacity"));
     return;
   }
   if (z.state == ZoneState::kOffline) {
-    cb(ZoneStateError("zone offline"), {});
+    fail(ZoneStateError("zone offline"));
     return;
   }
   ReadResult result;
@@ -425,7 +443,7 @@ void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
   }
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_read_, h_read_, fin, zone, offset, nblocks);
-  sim_->ScheduleAt(fin,
+  sim_->CompleteAt(fin,
                    [cb = std::move(cb), result = std::move(result)]() mutable {
                      cb(OkStatus(), std::move(result));
                    });

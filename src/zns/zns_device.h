@@ -219,19 +219,24 @@ class ZnsDevice {
   void AtArrival(std::function<void()> fn);
 
   // Fault-plane hooks: consulted at command arrival / completion scheduling.
+  // Passing this device's own clock keeps the injector off the host clock,
+  // which another thread may own while a shard drains (identical unsharded,
+  // where the two clocks are one).
   Status FaultCheck(IoKind kind) {
-    return fault_ != nullptr ? fault_->OnIo(fault_device_id_, kind)
-                             : OkStatus();
+    return fault_ != nullptr
+               ? fault_->OnIo(fault_device_id_, kind, sim_->Now())
+               : OkStatus();
   }
   Status CheckAlive() const {
-    if (fault_ != nullptr && fault_->IsDead(fault_device_id_)) {
+    if (fault_ != nullptr && fault_->IsDead(fault_device_id_, sim_->Now())) {
       return UnavailableError("device dead");
     }
     return OkStatus();
   }
   SimTime Stretch(int channel, SimTime done) const {
     return fault_ != nullptr
-               ? fault_->StretchCompletion(fault_device_id_, channel, done)
+               ? fault_->StretchCompletion(fault_device_id_, channel, done,
+                                           sim_->Now())
                : done;
   }
 

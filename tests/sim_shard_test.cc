@@ -1,0 +1,153 @@
+// Sharded-PDES engine tests (src/sim/shard_router.h):
+//   - the single-shard path never creates a router and is bit-identical
+//     run to run (the legacy single-clock engine),
+//   - a sharded run is deterministic for a fixed (seed, shard count),
+//   - equal-timestamp cross-shard completions merge in shard-index order,
+//     FIFO within a shard,
+//   - scheduling onto a device shard below the safe horizon is detected:
+//     counted in release builds, fatal in debug builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/shard_router.h"
+#include "src/sim/simulator.h"
+#include "src/testbed/platforms.h"
+#include "src/workload/driver.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+namespace {
+
+struct RunOutcome {
+  std::string fingerprint;
+  int shards = 0;
+  bool has_router = false;
+  uint64_t floor_violations = 0;
+  uint64_t requests_completed = 0;
+};
+
+// One full driver run of the mixed read/write CASA trace on a scaled BIZA
+// platform. The fingerprint folds in every externally visible result —
+// counts, bytes, virtual-time extent, latency shape, fired events, and
+// flash programs — so two runs with equal fingerprints behaved identically.
+RunOutcome RunCasa(int shards, uint64_t seed, uint64_t requests = 3000) {
+  Simulator sim;
+  PlatformConfig config;
+  config.zns = ZnsConfig::Zn540(/*num_zones=*/64, /*zone_capacity_blocks=*/1024);
+  config.MatchConvCapacity();
+  config.seed = seed;
+  config.shards = shards;
+  auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
+
+  TraceProfile profile = TraceProfile::AllTable6()[0];
+  profile.footprint_blocks = std::min<uint64_t>(
+      profile.footprint_blocks, platform->block()->capacity_blocks() / 3);
+  SyntheticTrace trace(profile);
+  Driver driver(&sim, platform->block(), &trace, /*iodepth=*/16);
+  const DriverReport report = driver.Run(requests, 60 * kSecond);
+  platform->Quiesce(&sim);
+
+  RunOutcome out;
+  out.shards = platform->shards();
+  out.has_router = platform->router() != nullptr;
+  out.floor_violations = platform->router() != nullptr
+                             ? platform->router()->FloorViolations()
+                             : sim.floor_violations();
+  out.requests_completed = report.requests_completed;
+  std::ostringstream fp;
+  fp << report.requests_completed << '|' << report.bytes_written << '|'
+     << report.bytes_read << '|' << report.elapsed_ns << '|'
+     << report.write_latency.Summary() << '|' << report.read_latency.Summary()
+     << '|' << sim.Now() << '|' << sim.total_fired_events() << '|'
+     << platform->FlashProgrammedBlocks();
+  out.fingerprint = fp.str();
+  return out;
+}
+
+TEST(SimShardTest, SingleShardStaysOnLegacyEngineAndIsBitIdentical) {
+  const RunOutcome a = RunCasa(/*shards=*/1, /*seed=*/1);
+  EXPECT_FALSE(a.has_router);
+  EXPECT_EQ(a.shards, 1);
+  EXPECT_EQ(a.requests_completed, 3000u);
+  const RunOutcome b = RunCasa(/*shards=*/1, /*seed=*/1);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(SimShardTest, ShardedRunIsDeterministicForFixedSeedAndShardCount) {
+  const RunOutcome a = RunCasa(/*shards=*/4, /*seed=*/1);
+  EXPECT_TRUE(a.has_router);
+  EXPECT_EQ(a.shards, 4);
+  EXPECT_EQ(a.requests_completed, 3000u);
+  EXPECT_EQ(a.floor_violations, 0u);
+  const RunOutcome b = RunCasa(/*shards=*/4, /*seed=*/1);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(SimShardTest, IntermediateShardCountCompletesCleanly) {
+  const RunOutcome a = RunCasa(/*shards=*/2, /*seed=*/3);
+  EXPECT_EQ(a.shards, 2);
+  EXPECT_EQ(a.requests_completed, 3000u);
+  EXPECT_EQ(a.floor_violations, 0u);
+}
+
+// Two shards produce completions carrying the same timestamp; the router
+// must fire them in shard-index order with FIFO within a shard, regardless
+// of the (deliberately reversed) submission order.
+TEST(ShardRouterTest, EqualTimestampCompletionsMergeInShardOrder) {
+  Simulator host;
+  std::vector<int> order;
+  {
+    ShardRouter router(&host, /*num_shards=*/2, /*lookahead_ns=*/1000);
+    Simulator* s0 = router.shard(0);
+    Simulator* s1 = router.shard(1);
+    host.Schedule(0, [&order, s0, s1] {
+      s1->ScheduleAt(1000, [&order, s1] {
+        s1->CompleteAt(5000, [&order] { order.push_back(10); });
+      });
+      s0->ScheduleAt(1000, [&order, s0] {
+        s0->CompleteAt(5000, [&order] { order.push_back(0); });
+        s0->CompleteAt(5000, [&order] { order.push_back(1); });
+      });
+    });
+    host.RunUntilIdle();
+    EXPECT_EQ(host.Now(), 5000u);
+    EXPECT_EQ(router.FloorViolations(), 0u);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10}));
+}
+
+// A host event scheduling onto a device shard below the safe horizon breaks
+// the lookahead contract (a dispatch latency shorter than the advertised
+// floor would do this).
+#ifdef NDEBUG
+TEST(ShardRouterTest, LookaheadViolationIsCountedInReleaseBuilds) {
+  Simulator host;
+  ShardRouter router(&host, /*num_shards=*/2, /*lookahead_ns=*/1000);
+  Simulator* s0 = router.shard(0);
+  // Fired at t=0 with the floor armed at 0 + 1000: scheduling at 500 is
+  // inside the horizon.
+  host.Schedule(0, [s0] { s0->ScheduleAt(500, [] {}); });
+  host.RunUntilIdle();
+  EXPECT_EQ(router.FloorViolations(), 1u);
+}
+#else
+TEST(ShardRouterDeathTest, LookaheadViolationAbortsInDebugBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Simulator host;
+        ShardRouter router(&host, /*num_shards=*/2, /*lookahead_ns=*/1000);
+        Simulator* s0 = router.shard(0);
+        host.Schedule(0, [s0] { s0->ScheduleAt(500, [] {}); });
+        host.RunUntilIdle();
+      },
+      "safe horizon");
+}
+#endif
+
+}  // namespace
+}  // namespace biza

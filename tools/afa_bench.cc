@@ -6,7 +6,8 @@
 //             [--requests=N] [--iodepth=N] [--size-kb=N] [--seconds=S]
 //             [--zones=N] [--zone-mb=N] [--zrwa-kb=N] [--num-parity=M]
 //             [--full-geometry] [--deviation=P] [--expose-channels]
-//             [--verify] [--seeds=N] [--threads=T]
+//             [--verify] [--seeds=N] [--threads=T] [--shards=N]
+//             [--bench-metric=ID]
 //             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
 //             [--trace=FILE] [--trace-start=S] [--trace-end=S]
 //             [--sample-csv=FILE] [--sample-interval-ms=M] [--stats]
@@ -23,6 +24,18 @@
 // Simulator per seed, run concurrently via the parallel runner) and reports
 // a per-seed row plus the mean; --threads caps runner concurrency (default:
 // BIZA_THREADS env or hardware concurrency).
+//
+// --shards=N parallelizes a SINGLE run across N per-SSD logical clocks
+// (sharded PDES, src/sim/shard_router.h; default: BIZA_SIM_SHARDS env, else
+// 1 = the bit-identical single-clock engine). Sharded runs are deterministic
+// for a fixed (seed, shard count) but order completions differently from the
+// single-clock engine, so numbers are comparable only at equal shard counts.
+// Incompatible with the observability flags (hooks fire on shard threads);
+// forced back to 1 with a warning when both are given.
+//
+// --bench-metric=ID wraps the whole invocation in a BenchMetricScope so one
+// machine-readable "BENCH_METRIC {...}" line (wall-clock, events, events/s,
+// shard count) is printed for tools/run_benches.sh to collect.
 //
 // Fault injection (repeatable flags, device ids follow creation order):
 //   --fail-device=D@T   device D dies T seconds into the run (kUnavailable)
@@ -58,6 +71,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rss.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
@@ -89,6 +103,8 @@ struct Options {
   bool verify = false;
   int seeds = 1;
   int threads = 0;  // 0 = DefaultExperimentThreads()
+  int shards = 0;   // 0 = BIZA_SIM_SHARDS env, 1 = single-clock engine
+  std::string bench_metric;  // non-empty: print a BENCH_METRIC line
   struct FailAt {
     int device;
     double seconds;
@@ -127,7 +143,7 @@ void PrintUsage() {
       "            --zones=N --zone-mb=N --zrwa-kb=N --num-parity=M\n"
       "            --full-geometry (904 zones x 1077 MiB, real ZN540)\n"
       "            --deviation=P --expose-channels --verify\n"
-      "            --seeds=N --threads=T\n"
+      "            --seeds=N --threads=T --shards=N --bench-metric=ID\n"
       "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n"
       "observe   : --trace=FILE --trace-start=S --trace-end=S\n"
       "            --sample-csv=FILE --sample-interval-ms=M --stats\n");
@@ -196,6 +212,7 @@ std::unique_ptr<WorkloadGenerator> MakeWorkload(const std::string& name,
 struct RunResult {
   std::string platform_name;
   uint64_t capacity_blocks = 0;
+  int shards = 1;  // effective shard count after Platform::Create clamping
   DriverReport report;
   WaBreakdown wa;
   std::map<std::string, SimTime> cpu;
@@ -231,6 +248,7 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   config.biza.num_parity = opt.num_parity;
   config.seed += seed_offset;
   config.zns.seed += seed_offset;
+  config.shards = opt.shards;
   config.MatchConvCapacity();
 
   config.faults.seed = config.seed;
@@ -326,6 +344,8 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   platform->Quiesce(&sim);
   result.platform_name = platform->name();
   result.capacity_blocks = target->capacity_blocks();
+  result.shards = platform->shards();
+  RecordSimEvents(sim, result.report);
   result.wa = platform->CollectWa(result.report.bytes_written / kBlockSize);
   result.cpu = platform->CpuBreakdown();
 
@@ -480,6 +500,14 @@ int main(int argc, char** argv) {
       opt.seeds = std::max(1, atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--threads", &value)) {
       opt.threads = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      opt.shards = atoi(value.c_str());
+      if (opt.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--bench-metric", &value)) {
+      opt.bench_metric = value;
     } else if (ParseFlag(argv[i], "--fail-device", &value)) {
       int device = 0;
       double seconds = 0.0;
@@ -523,6 +551,20 @@ int main(int argc, char** argv) {
 
   if (opt.full_geometry) {
     ApplyFullGeometry(&opt);
+    // Keep the BENCH_METRIC full_geometry field (read from the env by
+    // BenchMetricScope) truthful for --bench-metric runs.
+    setenv("BIZA_FULL_GEOMETRY", "1", 1);
+  }
+  if (opt.shards > 1 && opt.ObservabilityOn()) {
+    std::fprintf(stderr,
+                 "warning: observability hooks fire on shard threads; "
+                 "--shards forced to 1\n");
+    opt.shards = 1;
+  }
+  // Scope whose destructor prints the BENCH_METRIC line after all runs.
+  std::unique_ptr<BenchMetricScope> metric;
+  if (!opt.bench_metric.empty()) {
+    metric = std::make_unique<BenchMetricScope>(opt.bench_metric.c_str());
   }
 
   // One job per seed, each on its own Simulator; results come back in
@@ -537,11 +579,12 @@ int main(int argc, char** argv) {
       RunExperiments(std::move(jobs), opt.threads);
 
   std::printf("platform %-16s capacity %.0f MiB  (%u zones x %llu MiB, "
-              "ZRWA %llu KiB, m=%d)\n",
+              "ZRWA %llu KiB, m=%d, shards=%d)\n",
               results[0].platform_name.c_str(),
               static_cast<double>(results[0].capacity_blocks) * 4 / 1024,
               opt.zones, static_cast<unsigned long long>(opt.zone_mb),
-              static_cast<unsigned long long>(opt.zrwa_kb), opt.num_parity);
+              static_cast<unsigned long long>(opt.zrwa_kb), opt.num_parity,
+              results[0].shards);
 
   double mean_write = 0.0, mean_read = 0.0, mean_wa = 0.0;
   for (int s = 0; s < opt.seeds; ++s) {
