@@ -122,6 +122,21 @@ void BizaArray::AttachObservability(Observability* obs) {
   reg.RegisterCounter("biza.write_stalls",
                       [this] { return stats_.write_stalls; });
   reg.RegisterCounter("biza.busy_skips", [this] { return stats_.busy_skips; });
+  // Gray-failure mitigation plane.
+  reg.RegisterCounter("biza.health.hedged_reads",
+                      [this] { return stats_.hedged_reads; });
+  reg.RegisterCounter("biza.health.hedge_recon_wins",
+                      [this] { return stats_.hedge_recon_wins; });
+  reg.RegisterCounter("biza.health.recon_around_reads",
+                      [this] { return stats_.recon_around_reads; });
+  reg.RegisterCounter("biza.health.probe_reads",
+                      [this] { return stats_.health_probe_reads; });
+  reg.RegisterCounter("biza.health.recon_fallbacks",
+                      [this] { return stats_.recon_fallbacks; });
+  reg.RegisterCounter("biza.health.steered_parity_stripes",
+                      [this] { return stats_.steered_parity_stripes; });
+  reg.RegisterCounter("biza.health.gray_channel_skips",
+                      [this] { return stats_.gray_channel_skips; });
   // Channel detector, aggregated over the member devices.
   auto detector_sum = [this](uint64_t ChannelDetectorStats::*field) {
     uint64_t sum = 0;
@@ -278,6 +293,10 @@ bool BizaArray::ReplenishGroup(int device, GroupKind kind, bool emergency) {
     if (obs_ != nullptr) {
       z.sched->SetTracer(&obs_->tracer);
     }
+    if (health_ != nullptr && health_->IsGray(device)) {
+      // Fresh schedulers on a gray device inherit the in-flight cap.
+      z.sched->SetInflightCap(health_->config().gray_inflight_cap);
+    }
     detectors_[static_cast<size_t>(device)]->OnZoneOpened(zone);
     // Future-ZNS (§6): if the device exposes the mapping in the OPEN
     // completion, confirm it outright — no guessing, no voting.
@@ -377,6 +396,15 @@ ZoneScheduler* BizaArray::PickZone(int device, GroupKind kind,
                       detectors_[static_cast<size_t>(device)]->ChannelOf(zone))) {
       stats_.busy_skips++;
       continue;  // GC avoidance: skip zones on BUSY channels (§4.3)
+    }
+    if (health_ != nullptr && kind != kGroupGcDest &&
+        health_->IsGrayChannel(
+            device, detectors_[static_cast<size_t>(device)]->ChannelOf(zone))) {
+      // Channel-granular steering: the device is fine but this channel is
+      // not — place the chunk on a sibling channel's zone instead. GC
+      // destinations are exempt (GC must always make progress).
+      stats_.gray_channel_skips++;
+      continue;
     }
     group.rr = index;
     return z.sched.get();
@@ -487,6 +515,14 @@ void BizaArray::RecordCompletion(int device, uint32_t zone,
   const SimTime latency = sim_->Now() - submit_time;
   detectors_[static_cast<size_t>(device)]->RecordWriteLatency(
       zone, latency, VoteChannelOf(device), VoteConfirmed(device));
+  if (health_ != nullptr) {
+    // Channel attribution rides on the detector's current guess for the
+    // zone, so a single slow channel can be steered around independently.
+    health_->RecordLatency(
+        device, DeviceHealthMonitor::Kind::kWrite,
+        detectors_[static_cast<size_t>(device)]->ChannelOf(zone), latency,
+        sim_->Now());
+  }
   MaybeFinishSeal(device, zone);
 }
 
@@ -773,6 +809,35 @@ void BizaArray::DoSubmitWrite(uint64_t lbn, std::vector<uint64_t> gather_lbns,
       builder.open = true;
       builder.degraded = false;
       builder.sn = next_sn_++;
+      // Write steering, part 1: ParityDrive(sn, row) is a pure function of
+      // the stripe number (recovery recomputes it from OOB), so parity slots
+      // cannot be remapped — instead burn sn values whose parity rotation
+      // lands on a gray device. Burned stripes get empty table rows (no OOB
+      // ever references them, so recovery is unaffected).
+      if (health_ != nullptr) {
+        auto parity_on_gray = [this](uint32_t sn) {
+          for (int row = 0; row < m_; ++row) {
+            if (health_->IsGray(geometry_.ParityDrive(sn, row))) {
+              return true;
+            }
+          }
+          return false;
+        };
+        int burned = 0;
+        while (burned < n_ && parity_on_gray(builder.sn)) {
+          for (int row = 0; row < m_; ++row) {
+            smt_.push_back(kInvalidPa);
+          }
+          stripe_data_pa_.insert(stripe_data_pa_.end(),
+                                 static_cast<size_t>(k_), kInvalidPa);
+          stripe_live_.push_back(0);
+          builder.sn = next_sn_++;
+          burned++;
+        }
+        if (burned > 0) {
+          stats_.steered_parity_stripes++;
+        }
+      }
       builder.patterns.clear();
       builder.patterns.reserve(static_cast<size_t>(k_));
       builder.lbns.clear();
@@ -1241,6 +1306,127 @@ void BizaArray::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       continue;
     }
 
+    // Gray-failure mitigation: a gray target device is reconstructed around
+    // outright (except for scheduled probes); a suspect one gets a hedged
+    // read — direct read raced against a reconstruct fired after the hedge
+    // delay, first completion wins. Either path needs a cleanly
+    // reconstructable stripe (CanMitigateRead); otherwise fall through to
+    // the plain read.
+    if (health_ != nullptr) {
+      const DeviceHealth dh = health_->state(device);
+      if ((dh == DeviceHealth::kGray || dh == DeviceHealth::kSuspect) &&
+          CanMitigateRead(entry)) {
+        const uint64_t out_at = i;
+        const uint64_t target = lbn + i;
+        const bool probe =
+            dh == DeviceHealth::kGray && health_->ProbeDue(device);
+        state->pending++;
+        if (dh == DeviceHealth::kGray && !probe) {
+          // Reconstruct-around: skip the gray device entirely.
+          stats_.recon_around_reads++;
+          ReconstructChunk(
+              target, entry,
+              [this, state, out_at, target, release](const Status& status,
+                                                     uint64_t pattern) {
+                if (status.ok()) {
+                  state->out[out_at] = pattern;
+                  release();
+                  return;
+                }
+                // Sources changed in flight (GC/overwrite): re-dispatch the
+                // block; the fresh BMT lookup re-decides the path.
+                stats_.recon_fallbacks++;
+                stats_.user_read_blocks--;  // re-dispatch re-counts it
+                SubmitRead(target, 1,
+                           [state, out_at, release](const Status& s,
+                                                    std::vector<uint64_t> p) {
+                             if (!s.ok() && state->error.ok()) {
+                               state->error = s;
+                             }
+                             if (!p.empty()) {
+                               state->out[out_at] = p[0];
+                             }
+                             release();
+                           });
+              });
+          i++;
+          continue;
+        }
+        // Hedged read (suspect device, or a gray-device probe raced at
+        // delay 0 so the user never waits on the probe). The hedge timer is
+        // a host-clock sim event — deterministic per (seed, shards).
+        stats_.hedged_reads++;
+        if (probe) {
+          stats_.health_probe_reads++;
+        }
+        struct Hedge {
+          bool done = false;
+        };
+        auto hedge = std::make_shared<Hedge>();
+        DeviceRead(
+            device, entry.pa, 1, 0,
+            [this, state, hedge, out_at, target, device, release](
+                const Status& status, std::vector<uint64_t> pats) {
+              if (hedge->done) {
+                return;  // the reconstruct already delivered
+              }
+              hedge->done = true;
+              if (status.ok() && !pats.empty()) {
+                state->out[out_at] = pats[0];
+                release();
+                return;
+              }
+              if (status.code() == ErrorCode::kUnavailable) {
+                OnDeviceUnavailable(device);
+                stats_.user_read_blocks--;  // re-dispatch re-counts it
+                SubmitRead(target, 1,
+                           [state, out_at, release](const Status& s,
+                                                    std::vector<uint64_t> p) {
+                             if (!s.ok() && state->error.ok()) {
+                               state->error = s;
+                             }
+                             if (!p.empty()) {
+                               state->out[out_at] = p[0];
+                             }
+                             release();
+                           });
+                return;
+              }
+              if (state->error.ok()) {
+                state->error = status;
+              }
+              release();
+            });
+        const SimTime delay = probe ? 0 : health_->HedgeDelayNs(device);
+        sim_->Schedule(delay, [this, hedge, state, out_at, target, entry,
+                               release]() {
+          if (hedge->done) {
+            return;
+          }
+          // Revalidate before spending the reconstruct: the mapping or the
+          // stripe may have changed while the timer was pending.
+          const BmtEntry cur = BmtGet(target);
+          if (cur.pa != entry.pa || cur.sn != entry.sn ||
+              !CanMitigateRead(cur)) {
+            return;  // the direct leg still owns delivery
+          }
+          ReconstructChunk(target, cur,
+                           [this, hedge, state, out_at, release](
+                               const Status& status, uint64_t pattern) {
+                             if (hedge->done || !status.ok()) {
+                               return;  // direct leg owns delivery
+                             }
+                             hedge->done = true;
+                             stats_.hedge_recon_wins++;
+                             state->out[out_at] = pattern;
+                             release();
+                           });
+        });
+        i++;
+        continue;
+      }
+    }
+
     // Merge a physically-contiguous run (same device and zone).
     uint64_t run = 1;
     while (i + run < nblocks) {
@@ -1313,6 +1499,17 @@ void BizaArray::OnDeviceUnavailable(int device) {
 void BizaArray::DeviceRead(
     int device, uint64_t pa, uint64_t nblocks, int attempt,
     std::function<void(const Status&, std::vector<uint64_t>)> cb) {
+  if (health_ != nullptr && attempt == 0) {
+    // Feed the monitor the end-to-end read latency (retries included: a
+    // device needing retries IS slow from the array's point of view).
+    const SimTime submitted = sim_->Now();
+    cb = [this, device, submitted, cb = std::move(cb)](
+             const Status& status, std::vector<uint64_t> pats) {
+      health_->RecordLatency(device, DeviceHealthMonitor::Kind::kRead, -1,
+                             sim_->Now() - submitted, sim_->Now());
+      cb(status, std::move(pats));
+    };
+  }
   devices_[static_cast<size_t>(device)]->SubmitRead(
       PaZone(pa), PaOffset(pa), nblocks,
       [this, device, pa, nblocks, attempt, cb = std::move(cb)](
@@ -1328,6 +1525,223 @@ void BizaArray::DeviceRead(
         }
         cb(status, std::move(result.patterns));
       });
+}
+
+// ---------------------------------------------------------------------------
+// Gray-failure mitigation plane
+// ---------------------------------------------------------------------------
+
+void BizaArray::SetHealthMonitor(DeviceHealthMonitor* monitor) {
+  health_ = monitor;
+  if (health_ == nullptr) {
+    return;
+  }
+  // Write steering, part 2: the moment a device turns gray, cap in-flight
+  // writes to it so queued stripes drain at its pace instead of convoying;
+  // clear the cap the moment it leaves gray.
+  health_->SetTransitionHook([this](int device, DeviceHealth from,
+                                    DeviceHealth to) {
+    if (to == DeviceHealth::kGray) {
+      ApplyInflightCap(device, health_->config().gray_inflight_cap);
+    } else if (from == DeviceHealth::kGray) {
+      ApplyInflightCap(device, 0);
+    }
+  });
+}
+
+void BizaArray::ApplyInflightCap(int device, uint64_t cap) {
+  if (device < 0 || device >= n_) {
+    return;
+  }
+  for (DevZone& z : zones_[static_cast<size_t>(device)]) {
+    if (z.sched != nullptr) {
+      z.sched->SetInflightCap(cap);
+    }
+  }
+}
+
+bool BizaArray::PaStable(uint64_t pa) const {
+  const DevZone& z =
+      zones_[static_cast<size_t>(PaDevice(pa))][PaZone(pa)];
+  if (z.use == ZoneUse::kSealed) {
+    return true;  // immutable until the next reset (epoch-guarded)
+  }
+  return z.use == ZoneUse::kActive && z.sched != nullptr &&
+         z.sched->StableAt(PaOffset(pa));
+}
+
+bool BizaArray::CanMitigateRead(const BmtEntry& entry) const {
+  if (entry.pa == kInvalidPa || IsPhantomPa(entry.pa)) {
+    return false;
+  }
+  // Every source the reconstruct would read must be durable and quiescent
+  // on a usable, non-gray device — otherwise going around the slow device
+  // is either incorrect (torn in-place update) or pointless (the source is
+  // just as slow). All m parity rows must be present: for m = 1 the XOR
+  // needs its parity, and for m >= 2 requiring the full set keeps the shard
+  // count at k + m - 1 >= k without per-row arithmetic.
+  for (int slot = 0; slot < k_; ++slot) {
+    const uint64_t pa = StripeDataPa(entry.sn, slot);
+    if (pa == entry.pa || pa == kInvalidPa) {
+      continue;  // the target itself / zero-padded unfilled slot
+    }
+    if (IsPhantomPa(pa)) {
+      return false;
+    }
+    const int d = PaDevice(pa);
+    if (device_failed_[static_cast<size_t>(d)] ||
+        (health_ != nullptr && health_->IsGray(d)) || !PaStable(pa)) {
+      return false;
+    }
+  }
+  for (int row = 0; row < m_; ++row) {
+    const uint64_t ppa = SmtAt(entry.sn, row);
+    if (ppa == kInvalidPa) {
+      return false;
+    }
+    const int d = PaDevice(ppa);
+    if (device_failed_[static_cast<size_t>(d)] ||
+        (health_ != nullptr && health_->IsGray(d)) || !PaStable(ppa)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BizaArray::ReconstructChunk(
+    uint64_t lbn, const BmtEntry& entry,
+    std::function<void(const Status&, uint64_t)> cb) {
+  // Mitigation-only reconstruction: unlike the degraded path this runs
+  // while the array is healthy, so concurrent writes, GC migrations, and
+  // zone resets can invalidate the sources mid-flight. Defense: snapshot
+  // enough per-source context at submission to PROVE, at completion, that
+  // the bytes read are the bytes that were stable at submission — the
+  // stripe tables still point at the snapshotted PAs, sealed sources kept
+  // their zone epoch (no reset), active sources kept their scheduler
+  // pattern (no completed overwrite) and stability. Any mismatch returns
+  // kFailedPrecondition and the caller falls back to a direct read.
+  struct Source {
+    uint64_t pa = 0;
+    int slot = 0;  // data slot, or k_ + parity row
+    bool active = false;
+    uint64_t epoch = 0;
+    uint64_t pattern = 0;  // PatternAt snapshot (active sources only)
+  };
+  struct Recon {
+    uint64_t lbn = 0;
+    BmtEntry entry;
+    std::vector<Source> sources;
+    std::vector<uint64_t> got;
+    int pending = 1;
+    Status error;
+    std::function<void(const Status&, uint64_t)> cb;
+  };
+  auto recon = std::make_shared<Recon>();
+  recon->lbn = lbn;
+  recon->entry = entry;
+  recon->cb = std::move(cb);
+
+  auto snapshot = [this, &recon](uint64_t pa, int slot) {
+    Source src;
+    src.pa = pa;
+    src.slot = slot;
+    const DevZone& z =
+        zones_[static_cast<size_t>(PaDevice(pa))][PaZone(pa)];
+    src.epoch = z.epoch;
+    src.active = z.use == ZoneUse::kActive;
+    if (src.active) {
+      src.pattern = z.sched->PatternAt(PaOffset(pa));
+    }
+    recon->sources.push_back(src);
+  };
+  for (int slot = 0; slot < k_; ++slot) {
+    const uint64_t pa = StripeDataPa(entry.sn, slot);
+    if (pa != entry.pa && pa != kInvalidPa) {
+      snapshot(pa, slot);
+    }
+  }
+  for (int row = 0; row < m_; ++row) {
+    snapshot(SmtAt(entry.sn, row), k_ + row);
+  }
+  recon->got.assign(recon->sources.size(), 0);
+  cpu_.Charge("biza", config_.costs.parity_xor_ns_per_kib *
+                          (kBlockSize / kKiB) * static_cast<SimTime>(k_));
+
+  auto finish = [this, recon]() {
+    if (--recon->pending != 0) {
+      return;
+    }
+    if (!recon->error.ok()) {
+      recon->cb(recon->error, 0);
+      return;
+    }
+    // Completion-time revalidation (see the defense note above).
+    const BmtEntry cur = BmtGet(recon->lbn);
+    bool valid = cur.pa == recon->entry.pa && cur.sn == recon->entry.sn;
+    for (const Source& src : recon->sources) {
+      if (!valid) {
+        break;
+      }
+      const uint64_t table_pa =
+          src.slot < k_ ? StripeDataPa(recon->entry.sn, src.slot)
+                        : SmtAt(recon->entry.sn, src.slot - k_);
+      const DevZone& z =
+          zones_[static_cast<size_t>(PaDevice(src.pa))][PaZone(src.pa)];
+      valid = table_pa == src.pa && z.epoch == src.epoch;
+      if (valid && src.active) {
+        valid = z.use == ZoneUse::kActive && z.sched != nullptr &&
+                z.sched->StableAt(PaOffset(src.pa)) &&
+                z.sched->PatternAt(PaOffset(src.pa)) == src.pattern;
+      } else if (valid) {
+        valid = z.use == ZoneUse::kSealed;
+      }
+    }
+    if (!valid) {
+      recon->cb(FailedPreconditionError("recon sources changed in flight"),
+                0);
+      return;
+    }
+    if (m_ == 1) {
+      uint64_t acc = 0;
+      for (uint64_t pat : recon->got) {
+        acc ^= pat;
+      }
+      recon->cb(OkStatus(), acc);
+      return;
+    }
+    std::vector<uint64_t> shards(static_cast<size_t>(k_ + m_), 0);
+    std::vector<bool> present(static_cast<size_t>(k_ + m_), true);
+    const int target_slot =
+        geometry_.DataSlotOf(recon->entry.sn, PaDevice(recon->entry.pa));
+    present[static_cast<size_t>(target_slot)] = false;
+    for (size_t s = 0; s < recon->sources.size(); ++s) {
+      shards[static_cast<size_t>(recon->sources[s].slot)] = recon->got[s];
+    }
+    const Status status = rs_->ReconstructPatterns(shards, present);
+    if (!status.ok()) {
+      recon->cb(status, 0);
+      return;
+    }
+    recon->cb(OkStatus(), shards[static_cast<size_t>(target_slot)]);
+  };
+
+  for (size_t s = 0; s < recon->sources.size(); ++s) {
+    const Source& src = recon->sources[s];
+    recon->pending++;
+    DeviceRead(PaDevice(src.pa), src.pa, 1, 0,
+               [recon, finish, s](const Status& status,
+                                  std::vector<uint64_t> pats) {
+                 if (status.ok() && !pats.empty()) {
+                   recon->got[s] = pats[0];
+                 } else if (recon->error.ok()) {
+                   recon->error = status.ok()
+                                      ? DataLossError("short recon read")
+                                      : status;
+                 }
+                 finish();
+               });
+  }
+  finish();
 }
 
 // ---------------------------------------------------------------------------
@@ -1429,6 +1843,11 @@ Status BizaArray::ReplaceDevice(int device, ZnsDevice* replacement) {
     z.valid = 0;
     z.sched.reset();
     z.seal_pending = false;
+    z.epoch++;  // the old device's content is gone
+  }
+  if (health_ != nullptr) {
+    // The replacement starts with a clean health record (and no caps).
+    health_->ResetDevice(device);
   }
   detectors_[static_cast<size_t>(device)] =
       std::make_unique<ChannelDetector>(config_.detector, num_zones_);
@@ -1835,6 +2254,7 @@ void BizaArray::FinishGcVictim() {
   detectors_[static_cast<size_t>(gc_device_)]->OnZoneReset(gc_victim_zone_);
   vz.use = ZoneUse::kFree;
   vz.valid = 0;
+  vz.epoch++;  // in-flight recons sourcing this zone must now fail validation
   stats_.gc_zone_resets++;
   RetryStalled();
 

@@ -41,6 +41,7 @@
 #include "src/biza/ghost_cache.h"
 #include "src/biza/zone_scheduler.h"
 #include "src/engines/target.h"
+#include "src/health/device_health.h"
 #include "src/metrics/cpu_account.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
@@ -68,6 +69,15 @@ struct BizaStats {
   uint64_t read_retries = 0;     // transient read errors retried with backoff
   uint64_t write_stalls = 0;     // requests parked awaiting GC space
   uint64_t busy_skips = 0;       // zone picks steered off a BUSY channel
+
+  // Gray-failure mitigation plane (zero unless a health monitor is attached).
+  uint64_t hedged_reads = 0;          // reads raced against a reconstruct
+  uint64_t hedge_recon_wins = 0;      // races the reconstruct path won
+  uint64_t recon_around_reads = 0;    // gray-device reads reconstructed outright
+  uint64_t health_probe_reads = 0;    // scheduled direct probes of a gray device
+  uint64_t recon_fallbacks = 0;       // reconstructs that fell back to direct
+  uint64_t steered_parity_stripes = 0;  // stripes re-rolled off gray parity
+  uint64_t gray_channel_skips = 0;    // zone picks steered off a gray channel
 };
 
 // Progress of an online rebuild (ReplaceDevice). `active` drops to false
@@ -125,6 +135,14 @@ class BizaArray : public BlockTarget {
   // device's OOB records (§4.1). Requires a quiesced array (no in-flight
   // I/O or GC).
   Status Recover();
+
+  // Gray-failure mitigation: feeds every device completion into `monitor`
+  // and turns on the three mitigations (hedged reads when a device is
+  // suspect, reconstruct-around reads when it is gray, write steering off
+  // gray devices/channels plus an in-flight cap on their schedulers). Pass
+  // nullptr to detach; a detached array is byte-identical to one that never
+  // had a monitor.
+  void SetHealthMonitor(DeviceHealthMonitor* monitor);
 
   // Registers the engine's counters/gauges ("biza.*", including the channel
   // detector, GC, and rebuild planes), its write/read latency histograms,
@@ -187,6 +205,11 @@ class BizaArray : public BlockTarget {
     uint64_t valid = 0;
     std::unique_ptr<ZoneScheduler> sched;  // non-null while kActive
     bool seal_pending = false;
+    // Bumped every time the zone's content is destroyed (GC reset, device
+    // replacement). Reconstruct-around reads snapshot it per source block
+    // and revalidate at completion: an unchanged epoch proves a sealed
+    // source still holds the bytes that were read.
+    uint64_t epoch = 0;
   };
 
   // A zone group on one device: a rotating set of active ZRWA zones kept
@@ -273,6 +296,21 @@ class BizaArray : public BlockTarget {
   // Device read with bounded retry-with-backoff for transient errors.
   void DeviceRead(int device, uint64_t pa, uint64_t nblocks, int attempt,
                   std::function<void(const Status&, std::vector<uint64_t>)> cb);
+
+  // Gray-failure mitigation plane (all no-ops when health_ == nullptr).
+  // True when every surviving source block the reconstruct would XOR is
+  // durable and quiescent (StableAt) on a usable, non-gray device.
+  bool CanMitigateRead(const BmtEntry& entry) const;
+  bool PaStable(uint64_t pa) const;
+  // Rebuilds the single chunk at `entry` from the surviving stripe members
+  // + parity, off the critical path of the (slow) target device. The result
+  // is revalidated against the current stripe tables at completion; a
+  // concurrent GC migration/overwrite fails it with kFailedPrecondition and
+  // the caller falls back to a direct read.
+  void ReconstructChunk(uint64_t lbn, const BmtEntry& entry,
+                        std::function<void(const Status&, uint64_t)> cb);
+  // Applies/clears the in-flight cap on every active scheduler of `device`.
+  void ApplyInflightCap(int device, uint64_t cap);
   void RebuildStep();
   void FinishRebuild();
 
@@ -385,6 +423,8 @@ class BizaArray : public BlockTarget {
 
   BizaStats stats_;
   CpuAccount cpu_;
+
+  DeviceHealthMonitor* health_ = nullptr;
 
   Observability* obs_ = nullptr;
   uint16_t span_write_ = 0;

@@ -129,8 +129,21 @@ void ZoneScheduler::SubmitWrite(uint64_t offset,
   Pump();
 }
 
+void ZoneScheduler::SetInflightCap(uint64_t cap) {
+  inflight_cap_ = cap;
+  // A raised/cleared cap may unblock queued jobs immediately.
+  Pump();
+}
+
 bool ZoneScheduler::CanDispatch(const Job& job) const {
   if (!FitsWindow(job)) {
+    return false;
+  }
+  // Gray-device throttle: keep at most inflight_cap_ writes outstanding so
+  // the queue drains at the slow device's pace instead of convoying. In-
+  // flight retries are already counted and bypass CanDispatch, so the cap
+  // never strands a retry.
+  if (inflight_cap_ != 0 && inflight_ >= inflight_cap_) {
     return false;
   }
   // Serialize same-block writes: if an older write to any covered block is

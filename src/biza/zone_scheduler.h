@@ -88,6 +88,22 @@ class ZoneScheduler {
   // device write (+ retries). Pass nullptr to detach.
   void SetTracer(Tracer* tracer);
 
+  // Caps concurrent in-flight writes to the device (0 = uncapped). The
+  // gray-failure plane sets a small cap on schedulers of a gray device so
+  // queued stripes don't convoy behind its stretched completions. Raising
+  // or clearing the cap pumps the queue.
+  void SetInflightCap(uint64_t cap);
+  uint64_t inflight_cap() const { return inflight_cap_; }
+
+  // True once `offset` holds durable data with no queued or in-flight
+  // overwrite — i.e. the on-device pattern equals PatternAt(offset) right
+  // now and for as long as no new write is submitted. The reconstruct-around
+  // read path requires this of every source block it XORs.
+  bool StableAt(uint64_t offset) const {
+    return offset < alloc_ptr_ && offset < pending_.size() &&
+           durable_[offset] && pending_[offset] == 0;
+  }
+
   // After the zone is fully allocated and idle, commits the remaining ZRWA
   // contents so the device transitions the zone to FULL.
   Status Seal();
@@ -126,6 +142,7 @@ class ZoneScheduler {
   int max_retries_ = 0;
   SimTime retry_backoff_ns_ = 0;
   uint64_t* retry_counter_ = nullptr;
+  uint64_t inflight_cap_ = 0;  // 0 = uncapped
   uint64_t alloc_ptr_ = 0;
   uint64_t win_start_ = 0;
   uint64_t inflight_ = 0;

@@ -60,6 +60,16 @@ void Mdraid::AttachObservability(Observability* obs) {
                       [this] { return stats_.write_retries; });
   reg.RegisterCounter("mdraid.rebuilt_blocks",
                       [this] { return stats_.rebuilt_blocks; });
+  reg.RegisterCounter("mdraid.health.hedged_reads",
+                      [this] { return stats_.hedged_reads; });
+  reg.RegisterCounter("mdraid.health.hedge_recon_wins",
+                      [this] { return stats_.hedge_recon_wins; });
+  reg.RegisterCounter("mdraid.health.recon_around_reads",
+                      [this] { return stats_.recon_around_reads; });
+  reg.RegisterCounter("mdraid.health.probe_reads",
+                      [this] { return stats_.health_probe_reads; });
+  reg.RegisterCounter("mdraid.health.recon_fallbacks",
+                      [this] { return stats_.recon_fallbacks; });
   reg.RegisterGauge("mdraid.dirty_blocks", [this] { return dirty_blocks_; });
   reg.RegisterGauge("mdraid.rebuild_active",
                     [this] { return rebuild_active_ ? 1 : 0; });
@@ -73,6 +83,70 @@ void Mdraid::AttachObservability(Observability* obs) {
 
 void Mdraid::SetChildFailed(int child, bool failed) {
   child_failed_[static_cast<size_t>(child)] = failed;
+}
+
+void Mdraid::SetHealthMonitor(DeviceHealthMonitor* monitor) {
+  health_ = monitor;
+}
+
+bool Mdraid::CanReconstruct(uint64_t stripe) const {
+  for (int c = 0; c < n_; ++c) {
+    if (child_failed_[static_cast<size_t>(c)]) {
+      return false;
+    }
+  }
+  return !rebuild_active_ && flushing_stripes_.count(stripe) == 0;
+}
+
+void Mdraid::ReconstructBlock(uint64_t stripe, int child,
+                              std::function<void(const Status&, uint64_t)> cb) {
+  cpu_.Charge("mdraid", config_.costs.parity_xor_ns_per_kib *
+                            (kBlockSize / kKiB) * static_cast<SimTime>(k_));
+  recon_active_[stripe]++;
+  struct Recon {
+    uint64_t acc = 0;
+    int pending = 0;
+    Status error;
+  };
+  auto recon = std::make_shared<Recon>();
+  recon->pending = n_ - 1;
+  auto finish = [this, stripe, recon, cb = std::move(cb)]() {
+    OnReconDone(stripe);
+    cb(recon->error, recon->acc);
+  };
+  for (int other = 0; other < n_; ++other) {
+    if (other == child) {
+      continue;
+    }
+    ChildRead(other, stripe, 1, 0,
+              [recon, finish](const Status& status,
+                              std::vector<uint64_t> patterns) {
+                if (status.ok() && !patterns.empty()) {
+                  recon->acc ^= patterns[0];
+                } else if (recon->error.ok()) {
+                  recon->error = status.ok()
+                                     ? DataLossError("short recon read")
+                                     : status;
+                }
+                if (--recon->pending == 0) {
+                  finish();
+                }
+              });
+  }
+}
+
+void Mdraid::OnReconDone(uint64_t stripe) {
+  auto it = recon_active_.find(stripe);
+  if (it != recon_active_.end() && --it->second == 0) {
+    recon_active_.erase(it);
+  }
+  if (!recon_waiters_.empty()) {
+    std::vector<std::function<void()>> ready;
+    ready.swap(recon_waiters_);
+    for (auto& fn : ready) {
+      fn();
+    }
+  }
 }
 
 Mdraid::StripeEntry& Mdraid::GetOrCreateEntry(uint64_t stripe) {
@@ -268,11 +342,15 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
   struct FlushState {
     int pending = 1;
     std::function<void()> done;
+    std::vector<uint64_t> flushed;  // stripes pinned in flushing_stripes_
   };
   auto state = std::make_shared<FlushState>();
   state->done = std::move(done);
-  auto release = [state]() {
+  auto release = [this, state]() {
     if (--state->pending == 0) {
+      for (uint64_t s : state->flushed) {
+        flushing_stripes_.erase(s);
+      }
       state->done();
     }
   };
@@ -315,9 +393,18 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
     }
   }
 
+  // Stripes under an in-flight reconstruct-around read stay cached and
+  // dirty: writing their new data+parity mid-recon would feed the recon a
+  // mix of old and new blocks. They are retried when the recons drain.
+  std::vector<uint64_t> recon_pinned;
+
   for (uint64_t stripe : stripes) {
     auto it = cache_.find(stripe);
     if (it == cache_.end()) {
+      continue;
+    }
+    if (recon_active_.count(stripe) > 0) {
+      recon_pinned.push_back(stripe);
       continue;
     }
     StripeEntry& entry = it->second;
@@ -367,11 +454,25 @@ void Mdraid::FlushStripeRun(std::vector<uint64_t> stripes,
       stats_.full_stripe_flushes++;
     }
     works->push_back(std::move(work));
+    state->flushed.push_back(stripe);
+    flushing_stripes_.insert(stripe);
 
     // Remove from cache now: new writes to the stripe re-enter cleanly.
     dirty_blocks_ -= entry.dirty_count;
     lru_.erase(entry.lru_it);
     cache_.erase(it);
+  }
+
+  if (works->empty() && !recon_pinned.empty()) {
+    // Everything in this run is pinned by in-flight recons. Park the retry
+    // on the recon-drain hook instead of completing now: a synchronous
+    // completion would let FlushBuffers re-pick the same stripes in a
+    // zero-time loop that never lets the recon reads land.
+    recon_waiters_.push_back(
+        [this, pinned = std::move(recon_pinned), release]() mutable {
+          FlushStripeRun(std::move(pinned), release);
+        });
+    return;
   }
 
   // Stage 2 (after reads): compute parity, write dirty data + parity with
@@ -553,6 +654,112 @@ void Mdraid::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
       continue;
     }
     const int child = geometry_.DataDrive(stripe, slot);
+    if (!child_failed_[static_cast<size_t>(child)] && health_ != nullptr) {
+      const DeviceHealth dh = health_->state(child);
+      if ((dh == DeviceHealth::kGray || dh == DeviceHealth::kSuspect) &&
+          CanReconstruct(stripe)) {
+        const uint64_t out_at = i;
+        const bool probe =
+            dh == DeviceHealth::kGray && health_->ProbeDue(child);
+        if (dh == DeviceHealth::kGray && !probe) {
+          // Reconstruct-around: serve the block from the survivors so the
+          // gray child's stretched completions never reach the user. On any
+          // recon failure fall back to the direct read — slow beats wrong.
+          stats_.recon_around_reads++;
+          state->pending++;
+          ReconstructBlock(
+              stripe, child,
+              [this, state, out_at, release, stripe, child](
+                  const Status& status, uint64_t value) {
+                if (status.ok()) {
+                  state->out[out_at] = value;
+                  release();
+                  return;
+                }
+                stats_.recon_fallbacks++;
+                ChildRead(child, stripe, 1, 0,
+                          [state, out_at, release](
+                              const Status& s, std::vector<uint64_t> pats) {
+                            if (s.ok() && !pats.empty()) {
+                              state->out[out_at] = pats[0];
+                            } else if (!s.ok() && state->error.ok()) {
+                              state->error = s;
+                            }
+                            release();
+                          });
+              });
+          continue;
+        }
+        // Suspect child (or a gray-child probe): race the direct read
+        // against a reconstruction fired after the hedge delay (delay 0 for
+        // probes — the direct leg must still run so the detector sees the
+        // device recover). First completion wins; the loser is dropped.
+        stats_.hedged_reads++;
+        if (probe) {
+          stats_.health_probe_reads++;
+        }
+        state->pending++;
+        struct Hedge {
+          bool done = false;
+        };
+        auto hedge = std::make_shared<Hedge>();
+        ChildRead(child, stripe, 1, 0,
+                  [this, state, out_at, release, hedge, child, target](
+                      const Status& status, std::vector<uint64_t> patterns) {
+                    if (hedge->done) {
+                      return;
+                    }
+                    hedge->done = true;
+                    if (status.ok()) {
+                      if (!patterns.empty()) {
+                        state->out[out_at] = patterns[0];
+                      }
+                      release();
+                      return;
+                    }
+                    if (status.code() == ErrorCode::kUnavailable) {
+                      OnChildUnavailable(child);
+                      stats_.user_read_blocks--;  // re-dispatch re-counts it
+                      SubmitRead(target, 1,
+                                 [state, out_at, release](
+                                     const Status& s,
+                                     std::vector<uint64_t> pats) {
+                                   if (!s.ok() && state->error.ok()) {
+                                     state->error = s;
+                                   }
+                                   if (!pats.empty()) {
+                                     state->out[out_at] = pats[0];
+                                   }
+                                   release();
+                                 });
+                      return;
+                    }
+                    if (state->error.ok()) {
+                      state->error = status;
+                    }
+                    release();
+                  });
+        const SimTime delay = probe ? 0 : health_->HedgeDelayNs(child);
+        sim_->Schedule(delay, [this, state, out_at, release, hedge, stripe,
+                               child]() {
+          if (hedge->done || !CanReconstruct(stripe)) {
+            return;  // direct leg finishes the block
+          }
+          ReconstructBlock(stripe, child,
+                           [this, state, out_at, release, hedge](
+                               const Status& status, uint64_t value) {
+                             if (hedge->done || !status.ok()) {
+                               return;  // direct leg finishes the block
+                             }
+                             hedge->done = true;
+                             stats_.hedge_recon_wins++;
+                             state->out[out_at] = value;
+                             release();
+                           });
+        });
+        continue;
+      }
+    }
     if (!child_failed_[static_cast<size_t>(child)]) {
       state->pending++;
       const uint64_t out_at = i;
@@ -677,6 +884,17 @@ void Mdraid::OnChildUnavailable(int child) {
 void Mdraid::ChildRead(
     int child, uint64_t offset, uint64_t nblocks, int attempt,
     std::function<void(const Status&, std::vector<uint64_t>)> cb) {
+  if (health_ != nullptr && attempt == 0) {
+    // Feed the detector the full request latency, retries included — a
+    // child that only answers after backoff IS slow from the array's view.
+    const SimTime submitted = sim_->Now();
+    cb = [this, child, submitted, cb = std::move(cb)](
+             const Status& status, std::vector<uint64_t> patterns) {
+      health_->RecordLatency(child, DeviceHealthMonitor::Kind::kRead, -1,
+                             sim_->Now() - submitted, sim_->Now());
+      cb(status, std::move(patterns));
+    };
+  }
   children_[static_cast<size_t>(child)]->SubmitRead(
       offset, nblocks,
       [this, child, offset, nblocks, attempt, cb = std::move(cb)](
@@ -698,6 +916,14 @@ void Mdraid::ChildRead(
 void Mdraid::ChildWrite(int child, uint64_t offset,
                         std::vector<uint64_t> patterns, WriteTag tag,
                         int attempt, WriteCallback cb) {
+  if (health_ != nullptr && attempt == 0) {
+    const SimTime submitted = sim_->Now();
+    cb = [this, child, submitted, cb = std::move(cb)](const Status& status) {
+      health_->RecordLatency(child, DeviceHealthMonitor::Kind::kWrite, -1,
+                             sim_->Now() - submitted, sim_->Now());
+      cb(status);
+    };
+  }
   auto payload = patterns;  // retained so a retry can resubmit the content
   children_[static_cast<size_t>(child)]->SubmitWrite(
       offset, std::move(patterns),

@@ -21,12 +21,15 @@
 #define BIZA_SRC_ENGINES_MDRAID_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/engines/target.h"
+#include "src/health/device_health.h"
 #include "src/metrics/cpu_account.h"
 #include "src/metrics/observability.h"
 #include "src/raid/geometry.h"
@@ -67,6 +70,12 @@ struct MdraidStats {
   uint64_t read_retries = 0;
   uint64_t write_retries = 0;
   uint64_t rebuilt_blocks = 0;    // blocks reconstructed onto a replacement
+  // Gray-failure mitigation plane (SetHealthMonitor).
+  uint64_t hedged_reads = 0;       // suspect-child reads raced with a recon
+  uint64_t hedge_recon_wins = 0;   // races the reconstruction leg won
+  uint64_t recon_around_reads = 0; // gray-child reads served from survivors
+  uint64_t health_probe_reads = 0; // gray-child reads kept on-device to probe
+  uint64_t recon_fallbacks = 0;    // recons that fell back to a direct read
 };
 
 class Mdraid : public BlockTarget {
@@ -101,6 +110,13 @@ class Mdraid : public BlockTarget {
   // with the registry; engine-lane spans wrap user reads/writes. Pass
   // nullptr to detach.
   void AttachObservability(Observability* obs);
+
+  // Gray-failure mitigation: feeds per-child read/write latencies into
+  // `monitor` and, when a child turns suspect/gray, serves its reads by
+  // hedging against or reconstructing from the surviving children. Pass
+  // nullptr to detach — the array then behaves byte-identically to an
+  // unmonitored one.
+  void SetHealthMonitor(DeviceHealthMonitor* monitor);
 
  private:
   struct StripeEntry {
@@ -144,6 +160,20 @@ class Mdraid : public BlockTarget {
   void RebuildSweepStep();
   void FinishRebuildChild();
 
+  // Gray-failure mitigation plane. A reconstruct-around read is sound only
+  // while the disks hold a self-consistent image of `stripe`: no failed
+  // child (survivors complete), no rebuild in flight (the replacement's
+  // blocks may be stale), and no flush of this same stripe mid-write (data
+  // and parity land independently). Dirty *sibling* slots in the cache are
+  // harmless — parity on disk still covers the old data on disk.
+  bool CanReconstruct(uint64_t stripe) const;
+  // XOR of the other n-1 children's blocks at offset `stripe` = `child`'s
+  // block there. Registers the stripe in recon_active_ so a flush cannot
+  // write it from under the reads.
+  void ReconstructBlock(uint64_t stripe, int child,
+                        std::function<void(const Status&, uint64_t)> cb);
+  void OnReconDone(uint64_t stripe);
+
   Simulator* sim_;
   std::vector<BlockTarget*> children_;
   MdraidConfig config_;
@@ -163,6 +193,16 @@ class Mdraid : public BlockTarget {
   std::vector<std::function<void()>> stalled_;  // writes awaiting cache space
 
   std::vector<bool> child_failed_;
+
+  // Gray-failure mitigation state. recon_active_ counts in-flight
+  // reconstructions per stripe (flushes skip those stripes and park a retry
+  // in recon_waiters_ when nothing else is flushable, so the drain never
+  // spins at one timestamp). flushing_stripes_ holds stripes between flush
+  // detach and last child-write completion; recons refuse them.
+  DeviceHealthMonitor* health_ = nullptr;
+  std::unordered_map<uint64_t, int> recon_active_;
+  std::unordered_set<uint64_t> flushing_stripes_;
+  std::vector<std::function<void()>> recon_waiters_;
 
   // Online-rebuild state (see RebuildChild).
   bool rebuild_active_ = false;

@@ -4,6 +4,27 @@
 
 namespace biza {
 
+double DeviceFaultSpec::EffectiveMult(SimTime now) const {
+  double mult = latency_mult;
+  if (mult <= 1.0) {
+    return mult;
+  }
+  if (ramp_duration > 0) {
+    if (now <= ramp_start) {
+      return 1.0;
+    }
+    if (now < ramp_start + ramp_duration) {
+      const double frac = static_cast<double>(now - ramp_start) /
+                          static_cast<double>(ramp_duration);
+      mult = 1.0 + frac * (mult - 1.0);
+    }
+  }
+  if (duty_period > 0 && now % duty_period >= duty_on) {
+    return 1.0;  // off phase of the duty cycle
+  }
+  return mult;
+}
+
 FaultInjector::FaultInjector(Simulator* sim, FaultPlan plan)
     : sim_(sim), seed_(plan.seed) {
   for (size_t d = 0; d < plan.devices.size(); ++d) {
@@ -36,6 +57,22 @@ void FaultInjector::KillDeviceAt(int device, SimTime when) {
 
 void FaultInjector::SetFailSlow(int device, double latency_mult) {
   StateFor(device).spec.latency_mult = latency_mult;
+}
+
+void FaultInjector::SetFailSlowRamp(int device, double latency_mult,
+                                    SimTime start, SimTime duration) {
+  DeviceState& state = StateFor(device);
+  state.spec.latency_mult = latency_mult;
+  state.spec.ramp_start = start;
+  state.spec.ramp_duration = duration;
+}
+
+void FaultInjector::SetFailSlowDuty(int device, double latency_mult,
+                                    SimTime period, SimTime on) {
+  DeviceState& state = StateFor(device);
+  state.spec.latency_mult = latency_mult;
+  state.spec.duty_period = period;
+  state.spec.duty_on = on;
 }
 
 void FaultInjector::SetFailSlowChannel(int device, int channel,
@@ -118,7 +155,7 @@ SimTime FaultInjector::StretchCompletion(int device, int channel, SimTime done,
   if (state == nullptr) {
     return done;
   }
-  double mult = state->spec.latency_mult;
+  double mult = state->spec.EffectiveMult(now);
   if (channel >= 0) {
     auto it = state->channel_mult.find(channel);
     if (it != state->channel_mult.end()) {
@@ -129,7 +166,16 @@ SimTime FaultInjector::StretchCompletion(int device, int channel, SimTime done,
     return done;
   }
   const SimTime span = done > now ? done - now : 0;
-  return now + static_cast<SimTime>(static_cast<double>(span) * mult);
+  const SimTime stretched = static_cast<SimTime>(static_cast<double>(span) * mult);
+  const SimTime excess = stretched > span ? stretched - span : 0;
+  // Serialize the excess through the device's single recovery lane: the
+  // nominal span keeps the device's internal parallelism, but the retry/
+  // re-read work a gray device burns per I/O does not pipeline, so
+  // concurrent I/O convoys behind it.
+  const SimTime lane_free =
+      done > state->slow_busy_until ? done : state->slow_busy_until;
+  state->slow_busy_until = lane_free + excess;
+  return state->slow_busy_until;
 }
 
 FaultStats FaultInjector::stats() const {

@@ -14,8 +14,10 @@
 //     torn-stripe crash case. Transient errors fail with kDeviceError, which
 //     IsRetriable() accepts — engines retry with bounded backoff.
 //   * Fail-slow: per-device and per-channel latency multipliers stretch the
-//     media portion of each completion time (the span between arrival and
-//     completion); queueing ahead of the device is unaffected.
+//     media portion of each completion time. The excess over the healthy
+//     span is serialized through a per-device recovery lane, so concurrent
+//     I/O convoys behind a slow device (see StretchCompletion); multipliers
+//     may also vary over time (SetFailSlowRamp / SetFailSlowDuty).
 //
 // Determinism: each device gets its own RNG stream seeded from (seed,
 // device), so injection decisions depend only on the per-device I/O order —
@@ -50,6 +52,21 @@ struct DeviceFaultSpec {
   double latency_mult = 1.0;       // fail-slow multiplier (>= 1.0)
   double read_error_prob = 0.0;    // transient read-error probability
   double write_error_prob = 0.0;   // transient write-error probability
+
+  // Time-varying fail-slow shapes (exercise detector hysteresis; constant
+  // multipliers make detection trivial). Both modulate latency_mult and are
+  // pure functions of `now`, so shard clocks evaluate them race-free.
+  //  * Ramp: mult grows linearly from 1.0 at ramp_start to latency_mult at
+  //    ramp_start + ramp_duration (then holds). ramp_duration = 0 disables.
+  SimTime ramp_start = 0;
+  SimTime ramp_duration = 0;
+  //  * Duty cycle: the stretch applies only during the first duty_on ns of
+  //    each duty_period (intermittent on/off). duty_period = 0 disables.
+  SimTime duty_period = 0;
+  SimTime duty_on = 0;
+
+  // The multiplier in force at `now`, after ramp and duty-cycle shaping.
+  double EffectiveMult(SimTime now) const;
 };
 
 struct FaultPlan {
@@ -80,6 +97,14 @@ class FaultInjector {
 
   void KillDeviceAt(int device, SimTime when);
   void SetFailSlow(int device, double latency_mult);
+  // Fail-slow that ramps linearly from 1.0 at `start` to `latency_mult` at
+  // `start + duration`, then holds.
+  void SetFailSlowRamp(int device, double latency_mult, SimTime start,
+                       SimTime duration);
+  // Intermittent fail-slow: `latency_mult` during the first `on` ns of each
+  // `period`, healthy for the rest.
+  void SetFailSlowDuty(int device, double latency_mult, SimTime period,
+                       SimTime on);
   void SetFailSlowChannel(int device, int channel, double latency_mult);
   void SetErrorRates(int device, double read_prob, double write_prob);
   // Scripted one-shot errors: the next `count` writes (or reads) hitting
@@ -107,8 +132,12 @@ class FaultInjector {
   bool IsDead(int device) const { return IsDead(device, sim_->Now()); }
   bool IsDead(int device, SimTime now) const;
 
-  // Stretches the media span of a completion: returns
-  // now + (done - now) * mult for the device (and channel, if faulted).
+  // Stretches the media span of a completion. The excess over the nominal
+  // span models serialized internal recovery work (retries, read-level
+  // shifts), so it occupies a single per-device recovery lane: one
+  // outstanding I/O sees exactly now + (done - now) * mult, while
+  // concurrent I/O on a fail-slow device convoys behind the lane — the
+  // queue-amplified tail that makes gray failure an array-wide problem.
   // `channel` < 0 means "no channel attribution" (e.g. ConvSsd internals).
   SimTime StretchCompletion(int device, int channel, SimTime done) const {
     return StretchCompletion(device, channel, done, sim_->Now());
@@ -126,6 +155,10 @@ class FaultInjector {
     std::map<int, double> channel_mult;  // channel -> extra multiplier
     int pending_write_errors = 0;
     int pending_read_errors = 0;
+    // Recovery-lane occupancy (see StretchCompletion). Mutable because the
+    // stretch hook is logically const; like the RNG and counters it is
+    // per-device state only ever touched from that device's (shard) clock.
+    mutable SimTime slow_busy_until = 0;
     Rng rng;
     FaultStats stats;
 

@@ -150,6 +150,21 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     dev->AttachFaultInjector(p.fault_.get(), p.next_fault_id_++);
   }
 
+  // Gray-failure self-defense: when enabled the platform owns a
+  // DeviceHealthMonitor and arms the engine's mitigation plane. The monitor
+  // is fed from engine-side completion callbacks, which always run on the
+  // host clock — so unlike obs it does NOT force the single-clock engine.
+  if (config.health.enabled) {
+    p.health_ = std::make_unique<DeviceHealthMonitor>(
+        config.health, config.zns.timing.num_channels);
+    if (p.biza_) {
+      p.biza_->SetHealthMonitor(p.health_.get());
+    }
+    if (p.mdraid_) {
+      p.mdraid_->SetHealthMonitor(p.health_.get());
+    }
+  }
+
   // Observability plane: per-device ids match the fault-plan ids above.
   if (config.obs != nullptr) {
     Observability* obs = config.obs;
@@ -176,6 +191,41 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     obs->registry.RegisterCounter(
         "fault.unavailable_rejections",
         [fault] { return fault->stats().unavailable_rejections; });
+    // Conservative-lookahead audit: nonzero means a cross-clock event was
+    // scheduled below the dispatch floor — a determinism bug. Surfaced so
+    // harnesses can assert it stays zero.
+    ShardRouter* router = p.router_.get();
+    obs->registry.RegisterCounter(
+        "sim.floor_violations", [sim, router] {
+          return router ? router->FloorViolations() : sim->floor_violations();
+        });
+    if (p.health_) {
+      DeviceHealthMonitor* health = p.health_.get();
+      obs->registry.RegisterCounter(
+          "health.samples", [health] { return health->stats().samples; });
+      obs->registry.RegisterCounter(
+          "health.windows", [health] { return health->stats().windows; });
+      obs->registry.RegisterCounter(
+          "health.suspect_transitions",
+          [health] { return health->stats().suspect_transitions; });
+      obs->registry.RegisterCounter(
+          "health.gray_transitions",
+          [health] { return health->stats().gray_transitions; });
+      obs->registry.RegisterCounter(
+          "health.recoveries",
+          [health] { return health->stats().recoveries; });
+      obs->registry.RegisterCounter(
+          "health.channel_gray_transitions",
+          [health] { return health->stats().channel_gray_transitions; });
+      // Devices materialize in the monitor lazily; state(d) is kHealthy for
+      // unseen ones, so gauges can be registered for every member up front.
+      for (int d = 0; d < config.num_ssds; ++d) {
+        obs->registry.RegisterGauge(
+            "health.dev" + std::to_string(d) + ".state", [health, d] {
+              return static_cast<uint64_t>(health->state(d));
+            });
+      }
+    }
   }
   return platform;
 }

@@ -25,6 +25,7 @@
 #include "src/engines/mdraid.h"
 #include "src/engines/raizn.h"
 #include "src/fault/fault_injector.h"
+#include "src/health/device_health.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
 #include "src/sim/shard_router.h"
@@ -69,6 +70,14 @@ struct PlatformConfig {
   // healthy runs stay bit-identical to pre-fault-plane builds.
   FaultPlan faults;
 
+  // Gray-failure self-defense (src/health/). When health.enabled the
+  // platform owns a DeviceHealthMonitor fed by the engine's per-device I/O
+  // completions and attaches it to BizaArray / Mdraid, arming hedged reads,
+  // reconstruct-around reads and steering-aware writes. Unlike obs, the
+  // monitor does NOT force shards=1: it is driven purely from engine-side
+  // completion callbacks, which run on the host clock.
+  HealthConfig health;
+
   // Optional observability sink (not owned). When set, Platform::Create
   // attaches it to every member device and engine: counters/gauges land in
   // obs->registry, spans in obs->tracer. nullptr keeps everything dark.
@@ -112,6 +121,7 @@ class Platform {
     return dmzaps_.empty() ? nullptr : dmzaps_[0].get();
   }
   FaultInjector* faults() { return fault_.get(); }
+  DeviceHealthMonitor* health() { return health_.get(); }
 
   // Effective shard count after clamping (1 = legacy single-clock engine).
   int shards() const { return router_ ? router_->num_shards() : 1; }
@@ -135,6 +145,7 @@ class Platform {
   std::unique_ptr<ShardRouter> router_;
 
   std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<DeviceHealthMonitor> health_;
   int next_fault_id_ = 0;
 
   std::vector<std::unique_ptr<ZnsDevice>> zns_;

@@ -27,6 +27,7 @@
 #include "src/biza/biza_array.h"
 #include "src/common/rng.h"
 #include "src/fault/fault_injector.h"
+#include "src/health/device_health.h"
 #include "src/sim/simulator.h"
 
 namespace biza {
@@ -45,6 +46,8 @@ struct TrialOptions {
   uint32_t num_zones = 24;
   uint64_t zone_cap = 512;
   double capacity_ratio = 0.0;        // 0 = BizaConfig default
+  double fail_slow_mult = 0.0;        // > 1: device 2 fail-slow all run
+  bool mitigate = false;              // attach a fast-window health monitor
 };
 
 struct Tracker {
@@ -54,18 +57,24 @@ struct Tracker {
 };
 
 // One complete crash trial. Adds the number of acknowledged writes to
-// `*acked_out` (and pre-crash GC runs to `*gc_out`, when given) so callers
-// can assert the trials exercised real work.
+// `*acked_out` (and pre-crash GC runs to `*gc_out`, pre-crash mitigation
+// actions to `*mitig_out`, when given) so callers can assert the trials
+// exercised real work.
 // (void return: gtest ASSERT_* may only be used in void functions.)
 void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
-              uint64_t* gc_out = nullptr) {
+              uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
   Simulator sim;
   FaultInjector fault(&sim);
+  if (opt.fail_slow_mult > 1.0) {
+    fault.SetFailSlow(2, opt.fail_slow_mult);
+  }
   std::vector<std::unique_ptr<ZnsDevice>> devs;
   std::vector<ZnsDevice*> ptrs;
+  int num_channels = 0;
   for (int d = 0; d < 4; ++d) {
     ZnsConfig dc = ZnsConfig::Zn540(opt.num_zones, opt.zone_cap);
     dc.seed = opt.seed * 101 + static_cast<uint64_t>(d) + 1;
+    num_channels = dc.timing.num_channels;
     devs.push_back(std::make_unique<ZnsDevice>(&sim, dc));
     devs.back()->AttachFaultInjector(&fault, d);
     ptrs.push_back(devs.back().get());
@@ -75,6 +84,17 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
     config.exposed_capacity_ratio = opt.capacity_ratio;
   }
   BizaArray array(&sim, ptrs, config);
+  std::unique_ptr<DeviceHealthMonitor> monitor;
+  if (opt.mitigate) {
+    // Fast windows so the fail-slow member is detected inside the short
+    // crash window and steering/capping is active when the power cuts.
+    HealthConfig hc;
+    hc.enabled = true;
+    hc.window_ios = 16;
+    hc.min_window_ns = 100 * kMicrosecond;
+    monitor = std::make_unique<DeviceHealthMonitor>(hc, num_channels);
+    array.SetHealthMonitor(monitor.get());
+  }
   const uint64_t span = std::min(opt.span, array.capacity_blocks());
 
   Tracker tracker;
@@ -135,6 +155,15 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
   sim.DropPending();
   if (gc_out != nullptr) {
     *gc_out += array.stats().gc_runs;
+  }
+  if (mitig_out != nullptr) {
+    const BizaStats& bs = array.stats();
+    *mitig_out += bs.steered_parity_stripes + bs.gray_channel_skips +
+                  bs.hedged_reads + bs.recon_around_reads;
+    if (monitor != nullptr) {
+      *mitig_out += monitor->stats().suspect_transitions +
+                    monitor->stats().gray_transitions;
+    }
   }
 
   // Power-loss recovery: a brand-new engine over the same devices.
@@ -236,6 +265,68 @@ TEST(CrashRecovery, MidGcCrash) {
   }
   // At least some of the ten crash points must have landed after GC started.
   EXPECT_GT(gc_runs, 0u);
+}
+
+// The full 105-point harness again with device 2 fail-slow (6x, with its
+// excess serialized into queue convoys) and the acting mitigation plane
+// attached: detection mid-stream, parity steering, gray-channel skips, and
+// in-flight caps must not weaken the zero-acked-write-loss contract.
+// Recovery runs on a plain engine — durability may never depend on the
+// monitor surviving the crash.
+TEST(CrashRecovery, MitigatedGrayDevicePreservesAckedWrites) {
+  uint64_t total_acked = 0;
+  uint64_t gc_runs = 0;
+  uint64_t mitigations = 0;
+  auto mitigated = [](TrialOptions opt) {
+    opt.fail_slow_mult = 6.0;
+    opt.mitigate = true;
+    return opt;
+  };
+  for (uint64_t trial = 0; trial < 60; ++trial) {  // randomized crash points
+    TrialOptions opt;
+    opt.seed = trial;
+    opt.span = (trial % 3 == 0) ? 200 : 4000;
+    RunTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 20; ++trial) {  // mid-ZRWA windows
+    TrialOptions opt;
+    opt.seed = 1000 + trial;
+    opt.span = 16;
+    RunTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 15; ++trial) {  // torn stripes + retries
+    TrialOptions opt;
+    opt.seed = 2000 + trial;
+    opt.scripted_write_errors = 3;
+    RunTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 10; ++trial) {  // mid-GC churn
+    TrialOptions opt;
+    opt.seed = 3000 + trial;
+    opt.num_zones = 16;
+    opt.zone_cap = 256;
+    opt.capacity_ratio = 0.60;
+    opt.span = 4500;
+    opt.prefill = true;
+    opt.iodepth = 16;
+    opt.crash_window = 40 * kMillisecond;
+    RunTrial(mitigated(opt), &total_acked, &gc_runs, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(total_acked, 2000u);
+  // The plane must actually have acted before at least some of the cuts.
+  EXPECT_GT(mitigations, 0u);
 }
 
 }  // namespace

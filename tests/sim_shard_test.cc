@@ -28,22 +28,36 @@ struct RunOutcome {
   bool has_router = false;
   uint64_t floor_violations = 0;
   uint64_t requests_completed = 0;
+  uint64_t mitigations = 0;  // hedged + reconstructed-around reads
 };
 
 // One full driver run of the mixed read/write CASA trace on a scaled BIZA
 // platform. The fingerprint folds in every externally visible result —
 // counts, bytes, virtual-time extent, latency shape, fired events, and
 // flash programs — so two runs with equal fingerprints behaved identically.
-RunOutcome RunCasa(int shards, uint64_t seed, uint64_t requests = 3000) {
+// With `mitigate` set, device 1 is 8x fail-slow and the health monitor is
+// attached with small windows, so the run exercises detection, hedged reads,
+// reconstruct-around reads, and write steering.
+RunOutcome RunCasa(int shards, uint64_t seed, uint64_t requests = 3000,
+                   bool mitigate = false) {
   Simulator sim;
   PlatformConfig config;
   config.zns = ZnsConfig::Zn540(/*num_zones=*/64, /*zone_capacity_blocks=*/1024);
   config.MatchConvCapacity();
   config.seed = seed;
   config.shards = shards;
+  if (mitigate) {
+    config.faults.Device(1).latency_mult = 8.0;
+    config.health.enabled = true;
+    config.health.window_ios = 16;
+    config.health.min_window_ns = 200 * kMicrosecond;
+  }
   auto platform = Platform::Create(&sim, PlatformKind::kBiza, config);
 
-  TraceProfile profile = TraceProfile::AllTable6()[0];
+  // CASA is 98.6% writes; mitigated runs use the read-heavy web profile so
+  // hedged/reconstruct-around reads actually fire.
+  TraceProfile profile =
+      mitigate ? TraceProfile::Web() : TraceProfile::AllTable6()[0];
   profile.footprint_blocks = std::min<uint64_t>(
       profile.footprint_blocks, platform->block()->capacity_blocks() / 3);
   SyntheticTrace trace(profile);
@@ -64,6 +78,18 @@ RunOutcome RunCasa(int shards, uint64_t seed, uint64_t requests = 3000) {
      << report.write_latency.Summary() << '|' << report.read_latency.Summary()
      << '|' << sim.Now() << '|' << sim.total_fired_events() << '|'
      << platform->FlashProgrammedBlocks();
+  if (mitigate) {
+    // Fold the whole mitigation plane into the fingerprint: detection edges
+    // and every mitigated read must replay identically.
+    const BizaStats& bs = platform->biza()->stats();
+    const HealthStats& hs = platform->health()->stats();
+    fp << '|' << bs.hedged_reads << '|' << bs.hedge_recon_wins << '|'
+       << bs.recon_around_reads << '|' << bs.health_probe_reads << '|'
+       << bs.steered_parity_stripes << '|' << bs.gray_channel_skips << '|'
+       << hs.suspect_transitions << '|' << hs.gray_transitions << '|'
+       << hs.recoveries << '|' << hs.windows << '|' << hs.samples;
+    out.mitigations = bs.hedged_reads + bs.recon_around_reads;
+  }
   out.fingerprint = fp.str();
   return out;
 }
@@ -84,6 +110,29 @@ TEST(SimShardTest, ShardedRunIsDeterministicForFixedSeedAndShardCount) {
   EXPECT_EQ(a.requests_completed, 3000u);
   EXPECT_EQ(a.floor_violations, 0u);
   const RunOutcome b = RunCasa(/*shards=*/4, /*seed=*/1);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+// The mitigation plane (fail-slow detection, hedged reads, reconstruct-
+// around reads, steering) must not break run-to-run determinism — its
+// inputs are host-clock completion callbacks, so the sample sequence is
+// fixed per (seed, shards).
+TEST(SimShardTest, MitigatedGrayRunIsDeterministicAtOneShard) {
+  const RunOutcome a = RunCasa(/*shards=*/1, /*seed=*/5, 3000, /*mitigate=*/true);
+  EXPECT_FALSE(a.has_router);
+  EXPECT_GT(a.mitigations, 0u) << "fail-slow device was never mitigated";
+  const RunOutcome b = RunCasa(/*shards=*/1, /*seed=*/5, 3000, /*mitigate=*/true);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(SimShardTest, MitigatedGrayRunIsDeterministicAtFourShards) {
+  const RunOutcome a = RunCasa(/*shards=*/4, /*seed=*/5, 3000, /*mitigate=*/true);
+  EXPECT_TRUE(a.has_router);
+  // A mitigated sharded run must respect the lookahead contract: hedge
+  // timers and reconstruct fan-outs never schedule below the safe horizon.
+  EXPECT_EQ(a.floor_violations, 0u);
+  EXPECT_GT(a.mitigations, 0u) << "fail-slow device was never mitigated";
+  const RunOutcome b = RunCasa(/*shards=*/4, /*seed=*/5, 3000, /*mitigate=*/true);
   EXPECT_EQ(a.fingerprint, b.fingerprint);
 }
 

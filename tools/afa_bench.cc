@@ -9,6 +9,10 @@
 //             [--verify] [--seeds=N] [--threads=T] [--shards=N]
 //             [--bench-metric=ID]
 //             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
+//             [--fail-slow-ramp=D:X@S+DUR] [--fail-slow-duty=D:X@P/ON]
+//             [--mitigate] [--hedge-quantile=Q] [--suspect-factor=X]
+//             [--gray-factor=X] [--health-window-ios=N]
+//             [--health-min-window-ms=M]
 //             [--trace=FILE] [--trace-start=S] [--trace-end=S]
 //             [--sample-csv=FILE] [--sample-interval-ms=M] [--stats]
 //
@@ -40,9 +44,28 @@
 // Fault injection (repeatable flags, device ids follow creation order):
 //   --fail-device=D@T   device D dies T seconds into the run (kUnavailable)
 //   --fail-slow=D:X     device D completes media work X times slower
+//   --fail-slow-ramp=D:X@S+DUR
+//                       device D degrades linearly from 1x at S seconds to
+//                       Xx at S+DUR seconds, then stays at Xx (creeping
+//                       gray failure)
+//   --fail-slow-duty=D:X@P/ON
+//                       device D is Xx slow for the first ON seconds of
+//                       every P-second period, healthy otherwise
+//                       (intermittent gray failure)
 //   --rebuild           after the workload, hot-swap the first dead device
 //                       for a fresh spare and run the online rebuild to
 //                       completion (BIZA and mdraid+ConvSSD platforms)
+//
+// Gray-failure self-defense (src/health, DESIGN.md):
+//   --mitigate          attach a DeviceHealthMonitor and arm hedged reads,
+//                       reconstruct-around reads and steering-aware writes
+//                       (BIZA and mdraid platforms)
+//   --hedge-quantile=Q  peer latency quantile deriving the hedge delay
+//                       (default 0.95)
+//   --suspect-factor=X / --gray-factor=X
+//                       windowed-p99-over-peer-baseline thresholds
+//   --health-window-ios=N / --health-min-window-ms=M
+//                       detector window close conditions
 //
 // Observability (src/metrics, see DESIGN.md §5):
 //   --trace=FILE        export a Chrome trace_event JSON (load in Perfetto
@@ -113,9 +136,31 @@ struct Options {
     int device;
     double mult;
   };
+  struct FailSlowRamp {
+    int device;
+    double mult;
+    double start_s;
+    double duration_s;
+  };
+  struct FailSlowDuty {
+    int device;
+    double mult;
+    double period_s;
+    double on_s;
+  };
   std::vector<FailAt> fail_device;
   std::vector<FailSlow> fail_slow;
+  std::vector<FailSlowRamp> fail_slow_ramp;
+  std::vector<FailSlowDuty> fail_slow_duty;
   bool rebuild = false;
+
+  // Gray-failure self-defense knobs (0 = keep the HealthConfig default).
+  bool mitigate = false;
+  double hedge_quantile = 0.0;
+  double suspect_factor = 0.0;
+  double gray_factor = 0.0;
+  uint64_t health_window_ios = 0;
+  double health_min_window_ms = 0.0;
 
   // Observability plane (all off by default: zero overhead).
   std::string trace_file;
@@ -145,6 +190,10 @@ void PrintUsage() {
       "            --deviation=P --expose-channels --verify\n"
       "            --seeds=N --threads=T --shards=N --bench-metric=ID\n"
       "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n"
+      "            --fail-slow-ramp=D:X@S+DUR --fail-slow-duty=D:X@P/ON\n"
+      "health    : --mitigate --hedge-quantile=Q --suspect-factor=X\n"
+      "            --gray-factor=X --health-window-ios=N\n"
+      "            --health-min-window-ms=M\n"
       "observe   : --trace=FILE --trace-start=S --trace-end=S\n"
       "            --sample-csv=FILE --sample-interval-ms=M --stats\n");
 }
@@ -229,6 +278,17 @@ struct RunResult {
   uint64_t rebuild_passes = 0;
   double rebuild_seconds = 0.0;
 
+  // Gray-failure mitigation outcome (only meaningful with --mitigate).
+  bool have_health = false;
+  HealthStats health_stats;
+  uint64_t hedged_reads = 0;
+  uint64_t hedge_recon_wins = 0;
+  uint64_t recon_around_reads = 0;
+  uint64_t probe_reads = 0;
+  uint64_t recon_fallbacks = 0;
+  uint64_t steered_parity_stripes = 0;
+  uint64_t gray_channel_skips = 0;
+
   // Observability exports, serialized per seed inside the worker thread so
   // main only stitches strings (keeps file I/O out of the parallel region).
   std::string trace_json;       // comma-separated trace_event fragment
@@ -258,6 +318,38 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   }
   for (const Options::FailSlow& f : opt.fail_slow) {
     config.faults.Device(f.device).latency_mult = f.mult;
+  }
+  for (const Options::FailSlowRamp& f : opt.fail_slow_ramp) {
+    DeviceFaultSpec& spec = config.faults.Device(f.device);
+    spec.latency_mult = f.mult;
+    spec.ramp_start = static_cast<SimTime>(f.start_s * 1e9);
+    spec.ramp_duration = static_cast<SimTime>(f.duration_s * 1e9);
+  }
+  for (const Options::FailSlowDuty& f : opt.fail_slow_duty) {
+    DeviceFaultSpec& spec = config.faults.Device(f.device);
+    spec.latency_mult = f.mult;
+    spec.duty_period = static_cast<SimTime>(f.period_s * 1e9);
+    spec.duty_on = static_cast<SimTime>(f.on_s * 1e9);
+  }
+
+  if (opt.mitigate) {
+    config.health.enabled = true;
+    if (opt.hedge_quantile > 0.0) {
+      config.health.hedge_quantile = opt.hedge_quantile;
+    }
+    if (opt.suspect_factor > 0.0) {
+      config.health.suspect_factor = opt.suspect_factor;
+    }
+    if (opt.gray_factor > 0.0) {
+      config.health.gray_factor = opt.gray_factor;
+    }
+    if (opt.health_window_ios > 0) {
+      config.health.window_ios = static_cast<uint32_t>(opt.health_window_ios);
+    }
+    if (opt.health_min_window_ms > 0.0) {
+      config.health.min_window_ns =
+          static_cast<SimTime>(opt.health_min_window_ms * 1e6);
+    }
   }
 
   // Each seed gets a private Observability so the parallel runner never
@@ -349,7 +441,9 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   result.wa = platform->CollectWa(result.report.bytes_written / kBlockSize);
   result.cpu = platform->CpuBreakdown();
 
-  result.have_faults = !opt.fail_device.empty() || !opt.fail_slow.empty();
+  result.have_faults = !opt.fail_device.empty() || !opt.fail_slow.empty() ||
+                       !opt.fail_slow_ramp.empty() ||
+                       !opt.fail_slow_duty.empty();
   result.fault_stats = platform->faults()->stats();
   if (platform->biza() != nullptr) {
     const BizaStats& bs = platform->biza()->stats();
@@ -357,11 +451,27 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
     result.degraded_reads = bs.degraded_reads;
     result.read_retries = bs.read_retries;
     result.write_retries = bs.write_retries;
+    result.hedged_reads = bs.hedged_reads;
+    result.hedge_recon_wins = bs.hedge_recon_wins;
+    result.recon_around_reads = bs.recon_around_reads;
+    result.probe_reads = bs.health_probe_reads;
+    result.recon_fallbacks = bs.recon_fallbacks;
+    result.steered_parity_stripes = bs.steered_parity_stripes;
+    result.gray_channel_skips = bs.gray_channel_skips;
   } else if (platform->mdraid() != nullptr) {
     const MdraidStats& ms = platform->mdraid()->stats();
     result.degraded_writes = ms.degraded_writes;
     result.read_retries = ms.read_retries;
     result.write_retries = ms.write_retries;
+    result.hedged_reads = ms.hedged_reads;
+    result.hedge_recon_wins = ms.hedge_recon_wins;
+    result.recon_around_reads = ms.recon_around_reads;
+    result.probe_reads = ms.health_probe_reads;
+    result.recon_fallbacks = ms.recon_fallbacks;
+  }
+  if (platform->health() != nullptr) {
+    result.have_health = true;
+    result.health_stats = platform->health()->stats();
   }
 
   if (obs != nullptr) {
@@ -440,6 +550,26 @@ void PrintResult(const Options& opt, const RunResult& result) {
                 result.rebuild_seconds,
                 static_cast<unsigned long long>(result.rebuild_passes));
   }
+  if (result.have_health) {
+    const HealthStats& hs = result.health_stats;
+    std::printf("  health: suspect=%llu gray=%llu recovered=%llu "
+                "(windows=%llu samples=%llu)\n",
+                static_cast<unsigned long long>(hs.suspect_transitions),
+                static_cast<unsigned long long>(hs.gray_transitions),
+                static_cast<unsigned long long>(hs.recoveries),
+                static_cast<unsigned long long>(hs.windows),
+                static_cast<unsigned long long>(hs.samples));
+    std::printf("  mitigate: hedged=%llu hedge_wins=%llu recon_around=%llu "
+                "probes=%llu fallbacks=%llu steered_stripes=%llu "
+                "chan_skips=%llu\n",
+                static_cast<unsigned long long>(result.hedged_reads),
+                static_cast<unsigned long long>(result.hedge_recon_wins),
+                static_cast<unsigned long long>(result.recon_around_reads),
+                static_cast<unsigned long long>(result.probe_reads),
+                static_cast<unsigned long long>(result.recon_fallbacks),
+                static_cast<unsigned long long>(result.steered_parity_stripes),
+                static_cast<unsigned long long>(result.gray_channel_skips));
+  }
 }
 
 // Parses "D@T" / "D:X" pairs for the fault flags; returns false on malformed
@@ -452,6 +582,26 @@ bool ParsePair(const std::string& value, char sep, int* device, double* num) {
   *device = atoi(value.substr(0, pos).c_str());
   *num = atof(value.substr(pos + 1).c_str());
   return *device >= 0;
+}
+
+// Parses "D:X@A<sep2>B" shapes (--fail-slow-ramp, --fail-slow-duty).
+bool ParseShape(const std::string& value, char sep2, int* device, double* mult,
+                double* a, double* b) {
+  const size_t at = value.find('@');
+  if (at == std::string::npos || at + 1 >= value.size()) {
+    return false;
+  }
+  if (!ParsePair(value.substr(0, at), ':', device, mult)) {
+    return false;
+  }
+  const std::string tail = value.substr(at + 1);
+  const size_t pos = tail.find(sep2);
+  if (pos == std::string::npos || pos + 1 >= tail.size()) {
+    return false;
+  }
+  *a = atof(tail.substr(0, pos).c_str());
+  *b = atof(tail.substr(pos + 1).c_str());
+  return true;
 }
 
 }  // namespace
@@ -524,6 +674,42 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.fail_slow.push_back({device, mult});
+    } else if (ParseFlag(argv[i], "--fail-slow-ramp", &value)) {
+      int device = 0;
+      double mult = 1.0, start_s = 0.0, dur_s = 0.0;
+      if (!ParseShape(value, '+', &device, &mult, &start_s, &dur_s) ||
+          mult < 1.0 || dur_s <= 0.0) {
+        std::fprintf(stderr,
+                     "--fail-slow-ramp expects D:X@S+DUR (X >= 1, DUR > 0)\n");
+        return 2;
+      }
+      opt.fail_slow_ramp.push_back({device, mult, start_s, dur_s});
+    } else if (ParseFlag(argv[i], "--fail-slow-duty", &value)) {
+      int device = 0;
+      double mult = 1.0, period_s = 0.0, on_s = 0.0;
+      if (!ParseShape(value, '/', &device, &mult, &period_s, &on_s) ||
+          mult < 1.0 || period_s <= 0.0 || on_s <= 0.0 || on_s > period_s) {
+        std::fprintf(stderr,
+                     "--fail-slow-duty expects D:X@P/ON (0 < ON <= P)\n");
+        return 2;
+      }
+      opt.fail_slow_duty.push_back({device, mult, period_s, on_s});
+    } else if (strcmp(argv[i], "--mitigate") == 0) {
+      opt.mitigate = true;
+    } else if (ParseFlag(argv[i], "--hedge-quantile", &value)) {
+      opt.hedge_quantile = atof(value.c_str());
+      if (opt.hedge_quantile <= 0.0 || opt.hedge_quantile > 1.0) {
+        std::fprintf(stderr, "--hedge-quantile expects (0, 1]\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--suspect-factor", &value)) {
+      opt.suspect_factor = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--gray-factor", &value)) {
+      opt.gray_factor = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--health-window-ios", &value)) {
+      opt.health_window_ios = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--health-min-window-ms", &value)) {
+      opt.health_min_window_ms = atof(value.c_str());
     } else if (strcmp(argv[i], "--rebuild") == 0) {
       opt.rebuild = true;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
