@@ -191,6 +191,19 @@ void BizaArray::AttachObservability(Observability* obs) {
   });
   reg.RegisterGauge("biza.stalled_writes",
                     [this] { return stalled_writes_.size(); });
+  reg.RegisterGauge("biza.sched_queue_delay_ns", [this] {
+    // Worst per-scheduler enqueue->dispatch EWMA: the array's current
+    // write-admission pressure point (rises on a gray-throttled device).
+    uint64_t worst = 0;
+    for (const auto& dev_zones : zones_) {
+      for (const DevZone& z : dev_zones) {
+        if (z.sched != nullptr) {
+          worst = std::max<uint64_t>(worst, z.sched->queue_delay_ewma_ns());
+        }
+      }
+    }
+    return worst;
+  });
   h_write_ = reg.Histogram("biza.write_latency_ns");
   h_read_ = reg.Histogram("biza.read_latency_ns");
   span_write_ = obs_->tracer.Intern("biza.write");

@@ -115,7 +115,8 @@ void ZoneScheduler::SubmitWrite(uint64_t offset,
       oobs_[offset + i] = oobs[i];
     }
   }
-  Job job{offset, std::move(patterns), std::move(oobs), std::move(cb)};
+  Job job{offset, std::move(patterns), std::move(oobs), std::move(cb),
+          /*attempts=*/0, /*enqueued=*/device_->sim()->Now()};
   for (uint64_t i = 0; i < job.patterns.size(); ++i) {
     const uint64_t b = job.offset + i;
     if (!durable_[b] && pending_[b] == 0) {
@@ -180,6 +181,9 @@ void ZoneScheduler::Dispatch(Job job) {
     for (uint64_t i = 0; i < job.patterns.size(); ++i) {
       inflight_cnt_[job.offset + i]++;
     }
+    const int64_t wait =
+        static_cast<int64_t>(device_->sim()->Now() - job.enqueued);
+    queue_delay_ewma_ns_ += (wait - queue_delay_ewma_ns_) / 8;
   }
   const uint64_t offset = job.offset;
   const uint64_t n = job.patterns.size();

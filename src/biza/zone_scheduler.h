@@ -84,6 +84,15 @@ class ZoneScheduler {
   uint64_t inflight() const { return inflight_; }
   size_t queue_depth() const { return queue_.size(); }
 
+  // EWMA (α = 1/8) of enqueue -> first-dispatch wait per job, in ns: how
+  // long writes sit behind the window/in-flight cap before the device sees
+  // them. The serving frontend's admission caps compose with this — a
+  // gray-throttled scheduler shows it as a rising queue delay, which the
+  // observability plane exports as the biza.sched_queue_delay_ns gauge.
+  SimTime queue_delay_ewma_ns() const {
+    return static_cast<SimTime>(queue_delay_ewma_ns_);
+  }
+
   // Records one sched.write span per submitted job, covering queue wait +
   // device write (+ retries). Pass nullptr to detach.
   void SetTracer(Tracer* tracer);
@@ -120,6 +129,7 @@ class ZoneScheduler {
     std::vector<OobRecord> oobs;
     WriteCallback cb;
     int attempts = 0;
+    SimTime enqueued = 0;
   };
 
   bool FitsWindow(const Job& job) const;
@@ -159,6 +169,7 @@ class ZoneScheduler {
   // from scheduler state instead of copying every job defensively.
   std::vector<OobRecord> oobs_;
   std::deque<Job> queue_;
+  int64_t queue_delay_ewma_ns_ = 0;
 };
 
 }  // namespace biza

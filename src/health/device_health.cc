@@ -294,6 +294,28 @@ SimTime DeviceHealthMonitor::HedgeDelayNs(int device) const {
   return std::max(hedge, config_.hedge_floor_ns);
 }
 
+SimTime DeviceHealthMonitor::PooledReadQuantileNs(double quantile) const {
+  // All devices' last closed read windows pooled: "how long do array reads
+  // take lately?" — the serving frontend's seed for SLO hedge delays. Unlike
+  // HedgeDelayNs this includes every member (a frontend read may land
+  // anywhere) and applies no multiplier or floor; policy stays with the
+  // caller. 0 until at least one window has closed.
+  std::vector<SimTime> pool;
+  for (const auto& state : devices_) {
+    if (state == nullptr) {
+      continue;
+    }
+    const Signal& sig = state->signals[static_cast<int>(Kind::kRead)];
+    pool.insert(pool.end(), sig.last_window_sorted.begin(),
+                sig.last_window_sorted.end());
+  }
+  if (pool.empty()) {
+    return 0;
+  }
+  std::sort(pool.begin(), pool.end());
+  return QuantileOf(pool, quantile);
+}
+
 bool DeviceHealthMonitor::ProbeDue(int device) {
   if (config_.probe_interval == 0) {
     return false;

@@ -123,6 +123,11 @@ class DeviceHealthMonitor {
   // peers' most recent closed read windows, floored at hedge_floor_ns.
   SimTime HedgeDelayNs(int device) const;
 
+  // Array-wide read-latency quantile over all devices' most recent closed
+  // windows (no exclusion, no multiplier, no floor) — the serving
+  // frontend's SLO hedge-delay seed. 0 until a read window has closed.
+  SimTime PooledReadQuantileNs(double quantile) const;
+
   // Deterministic probe schedule: call once per read routed to a gray
   // device; returns true every probe_interval-th call.
   bool ProbeDue(int device);

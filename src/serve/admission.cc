@@ -1,0 +1,146 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biza {
+
+namespace {
+// DRR credit added per round per unit of weight, in blocks. One weight unit
+// buys a 32 KiB slice per round; a weight-4 latency tenant gets 128 KiB.
+constexpr uint64_t kQuantumBlocks = 8;
+}  // namespace
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kDrr:
+      return "drr";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionPolicy policy,
+                               std::vector<TenantLimits> limits,
+                               uint64_t global_inflight_cap)
+    : policy_(policy), global_inflight_cap_(global_inflight_cap) {
+  tenants_.resize(limits.size());
+  for (size_t i = 0; i < limits.size(); ++i) {
+    tenants_[i].limits = limits[i];
+  }
+}
+
+uint64_t AdmissionQueue::EffectiveCap(const TenantState& tenant) const {
+  uint64_t cap = tenant.limits.inflight_cap;
+  if (under_pressure_ && tenant.limits.gray_shed_factor < 1.0) {
+    // Shed: scale the cap (or the global cap for uncapped tenants) down.
+    const uint64_t base = cap > 0 ? cap : global_inflight_cap_;
+    cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(static_cast<double>(base) *
+                         tenant.limits.gray_shed_factor)));
+  }
+  return cap;
+}
+
+bool AdmissionQueue::AtCap(const TenantState& tenant) const {
+  const uint64_t cap = EffectiveCap(tenant);
+  return cap > 0 && tenant.inflight >= cap;
+}
+
+void AdmissionQueue::Push(ServeRequest request) {
+  const int tenant = request.tenant;
+  tenants_[static_cast<size_t>(tenant)].queue.push_back(std::move(request));
+  if (policy_ == AdmissionPolicy::kFifo) {
+    fifo_order_.push_back(tenant);
+  }
+  total_queued_++;
+}
+
+bool AdmissionQueue::PopNext(ServeRequest* out) {
+  if (total_inflight_ >= global_inflight_cap_ || total_queued_ == 0) {
+    return false;
+  }
+  const bool popped =
+      policy_ == AdmissionPolicy::kFifo ? PopFifo(out) : PopDrr(out);
+  if (popped) {
+    tenants_[static_cast<size_t>(out->tenant)].inflight++;
+    total_inflight_++;
+    total_queued_--;
+  }
+  return popped;
+}
+
+bool AdmissionQueue::PopFifo(ServeRequest* out) {
+  // Strict arrival order, blind to tenants: head-of-line blocking by design.
+  if (fifo_order_.empty()) {
+    return false;
+  }
+  const int tenant = fifo_order_.front();
+  fifo_order_.pop_front();
+  TenantState& state = tenants_[static_cast<size_t>(tenant)];
+  *out = std::move(state.queue.front());
+  state.queue.pop_front();
+  return true;
+}
+
+bool AdmissionQueue::PopDrr(ServeRequest* out) {
+  // Visit tenants round-robin from the cursor. A tenant with queued work and
+  // a free in-flight slot gets kQuantumBlocks x weight of credit per visit
+  // and dispatches once its deficit covers the head request's block count.
+  // The scan is bounded: every full round adds credit to at least one
+  // eligible tenant, so within O(max_request / quantum) rounds someone
+  // affords their head — or nobody is eligible and we give up.
+  const size_t n = tenants_.size();
+  bool any_eligible = true;
+  while (any_eligible) {
+    any_eligible = false;
+    for (size_t step = 0; step < n; ++step) {
+      TenantState& state = tenants_[drr_cursor_];
+      if (state.queue.empty()) {
+        state.deficit = 0;  // idle tenants do not bank credit
+        drr_cursor_ = (drr_cursor_ + 1) % n;
+        drr_fresh_turn_ = true;
+        continue;
+      }
+      if (AtCap(state)) {
+        // Capped tenants keep their place (and deficit) but cannot dispatch;
+        // they also must not keep accruing unbounded credit while parked.
+        state.cap_deferrals++;
+        drr_cursor_ = (drr_cursor_ + 1) % n;
+        drr_fresh_turn_ = true;
+        continue;
+      }
+      any_eligible = true;
+      const uint64_t cost =
+          std::max<uint64_t>(state.queue.front().req.nblocks, 1);
+      // Credit is granted once per turn, when the cursor arrives. Re-crediting
+      // mid-turn would let one tenant afford its head forever and starve the
+      // rest (quantum x weight always covers one request).
+      if (drr_fresh_turn_) {
+        state.deficit +=
+            kQuantumBlocks * std::max<uint32_t>(state.limits.weight, 1);
+        drr_fresh_turn_ = false;
+      }
+      if (state.deficit >= cost) {
+        state.deficit -= cost;
+        *out = std::move(state.queue.front());
+        state.queue.pop_front();
+        // Keep the cursor on this tenant: it dispatches until its deficit
+        // runs dry, then the next visit moves on (classic DRR round shape).
+        return true;
+      }
+      drr_cursor_ = (drr_cursor_ + 1) % n;
+      drr_fresh_turn_ = true;
+    }
+  }
+  return false;
+}
+
+void AdmissionQueue::OnComplete(int tenant) {
+  tenants_[static_cast<size_t>(tenant)].inflight--;
+  total_inflight_--;
+}
+
+}  // namespace biza

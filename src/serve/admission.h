@@ -1,0 +1,113 @@
+// QoS-aware admission queue for the serving frontend.
+//
+// Two policies over the same interface:
+//
+//   kFifo — one global arrival-ordered queue, only the global in-flight cap
+//           applies. The strawman: an aggressor burst parks its requests
+//           ahead of everyone and a latency tenant's point read waits behind
+//           a convoy of 256 KiB batch writes.
+//   kDrr  — deficit round robin across per-tenant queues. Each tenant
+//           accrues `quantum x weight` blocks of credit per round and
+//           dispatches while its deficit covers the head request's cost
+//           (cost = request blocks, so fairness is byte-proportional, not
+//           request-proportional). Per-tenant in-flight caps bound how much
+//           of the global window one tenant can hold; under gray pressure
+//           the caps are scaled by the tenant's shed factor.
+//
+// The queue never touches the simulator: the frontend pushes arrivals,
+// pops admitted requests while capacity allows, and reports completions.
+#ifndef BIZA_SRC_SERVE_ADMISSION_H_
+#define BIZA_SRC_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/engines/target.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workload.h"
+
+namespace biza {
+
+enum class AdmissionPolicy : uint8_t { kFifo = 0, kDrr = 1 };
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+struct ServeRequest {
+  int tenant = 0;
+  SimTime arrival = 0;  // intended arrival (virtual time)
+  BlockRequest req;
+};
+
+class AdmissionQueue {
+ public:
+  struct TenantLimits {
+    uint32_t weight = 1;
+    uint64_t inflight_cap = 0;     // 0 = uncapped
+    double gray_shed_factor = 1.0;  // applied to inflight_cap under pressure
+  };
+
+  AdmissionQueue(AdmissionPolicy policy, std::vector<TenantLimits> limits,
+                 uint64_t global_inflight_cap);
+
+  // Gray pressure: while set, each tenant's effective in-flight cap is
+  // ceil(cap x shed_factor) (min 1). Uncapped tenants with a shed factor
+  // < 1 get a synthetic cap of global_cap x factor so they shed too.
+  void SetPressure(bool under_pressure) { under_pressure_ = under_pressure; }
+  bool under_pressure() const { return under_pressure_; }
+
+  void Push(ServeRequest request);
+
+  // Pops the next admissible request per policy, honoring the global cap,
+  // per-tenant caps, and (DRR) deficits. Returns false when nothing can be
+  // admitted right now. On success the request counts as in flight until
+  // OnComplete(tenant).
+  bool PopNext(ServeRequest* out);
+
+  void OnComplete(int tenant);
+
+  uint64_t total_inflight() const { return total_inflight_; }
+  uint64_t inflight(int tenant) const {
+    return tenants_[static_cast<size_t>(tenant)].inflight;
+  }
+  uint64_t queue_depth(int tenant) const {
+    return tenants_[static_cast<size_t>(tenant)].queue.size();
+  }
+  uint64_t total_queued() const { return total_queued_; }
+  // Pops skipped because a tenant sat at its (possibly shed) in-flight cap.
+  uint64_t cap_deferrals(int tenant) const {
+    return tenants_[static_cast<size_t>(tenant)].cap_deferrals;
+  }
+
+ private:
+  struct TenantState {
+    TenantLimits limits;
+    std::deque<ServeRequest> queue;
+    uint64_t inflight = 0;
+    uint64_t deficit = 0;         // DRR credit, in blocks
+    uint64_t cap_deferrals = 0;
+  };
+
+  uint64_t EffectiveCap(const TenantState& tenant) const;
+  bool AtCap(const TenantState& tenant) const;
+  bool PopFifo(ServeRequest* out);
+  bool PopDrr(ServeRequest* out);
+
+  AdmissionPolicy policy_;
+  uint64_t global_inflight_cap_;
+  std::vector<TenantState> tenants_;
+  // FIFO arrival order across all tenants (tenant indices; each pop takes
+  // that tenant's queue head, which is its oldest request).
+  std::deque<int> fifo_order_;
+  size_t drr_cursor_ = 0;
+  // True when the cursor just arrived at tenants_[drr_cursor_]: its one
+  // per-turn quantum of credit has not been granted yet.
+  bool drr_fresh_turn_ = true;
+  uint64_t total_inflight_ = 0;
+  uint64_t total_queued_ = 0;
+  bool under_pressure_ = false;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_SERVE_ADMISSION_H_

@@ -1,0 +1,202 @@
+#include "src/serve/tenant.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace biza {
+
+const char* TenantClassName(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kLatency:
+      return "latency";
+    case TenantClass::kThroughput:
+      return "throughput";
+    case TenantClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+TenantSpec TenantSpec::ForClass(TenantClass cls, std::string name, double iops,
+                                uint32_t weight) {
+  TenantSpec spec;
+  spec.name = std::move(name);
+  spec.cls = cls;
+  spec.arrival.base_iops = iops;
+  switch (cls) {
+    case TenantClass::kLatency:
+      // Point reads at a steady rate; pays for tail latency.
+      spec.read_fraction = 0.9;
+      spec.request_blocks = 1;  // 4 KiB
+      spec.slo.hedge_quantile = 0.95;
+      spec.slo.hedge_multiplier = 2.0;
+      spec.slo.weight = 4;
+      spec.slo.inflight_cap = 0;
+      spec.slo.gray_shed_factor = 1.0;
+      break;
+    case TenantClass::kThroughput:
+      // Mixed medium I/O with a diurnal swing.
+      spec.read_fraction = 0.5;
+      spec.request_blocks = 16;  // 64 KiB
+      spec.arrival.ramp_amplitude = 0.5;
+      spec.arrival.ramp_period_s = 2.0;
+      spec.slo.hedge_quantile = 0.99;
+      spec.slo.hedge_multiplier = 3.0;
+      spec.slo.weight = 2;
+      spec.slo.inflight_cap = 16;
+      spec.slo.gray_shed_factor = 0.5;
+      break;
+    case TenantClass::kBatch:
+      // Large bursty writes; no hedging, first to shed.
+      spec.read_fraction = 0.1;
+      spec.request_blocks = 64;  // 256 KiB
+      spec.arrival.burst_mult = 8.0;
+      spec.arrival.burst_period_s = 1.0;
+      spec.arrival.burst_on_s = 0.25;
+      spec.slo.hedge_quantile = 0.0;
+      spec.slo.weight = 1;
+      spec.slo.inflight_cap = 8;
+      spec.slo.gray_shed_factor = 0.25;
+      break;
+  }
+  if (weight > 0) {
+    spec.slo.weight = weight;
+  }
+  return spec;
+}
+
+namespace {
+
+bool ParseClass(const std::string& token, TenantClass* out) {
+  static const struct {
+    const char* name;
+    TenantClass cls;
+  } kClasses[] = {
+      {"latency", TenantClass::kLatency},
+      {"throughput", TenantClass::kThroughput},
+      {"batch", TenantClass::kBatch},
+  };
+  if (token.empty()) {
+    return false;
+  }
+  for (const auto& entry : kClasses) {
+    if (std::string(entry.name).compare(0, token.size(), token) == 0) {
+      *out = entry.cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+double DefaultIops(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kLatency:
+      return 4000.0;
+    case TenantClass::kThroughput:
+      return 2000.0;
+    case TenantClass::kBatch:
+      return 1000.0;
+  }
+  return 1000.0;
+}
+
+}  // namespace
+
+bool ParseTenantList(const std::string& text, std::vector<TenantSpec>* out) {
+  out->clear();
+  size_t pos = 0;
+  int index = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      return false;
+    }
+    // class[:weight[:iops]]
+    std::string fields[3];
+    int nfields = 0;
+    size_t fpos = 0;
+    while (fpos <= item.size() && nfields < 3) {
+      size_t colon = item.find(':', fpos);
+      if (colon == std::string::npos) {
+        colon = item.size();
+      }
+      fields[nfields++] = item.substr(fpos, colon - fpos);
+      fpos = colon + 1;
+    }
+    TenantClass cls;
+    if (!ParseClass(fields[0], &cls)) {
+      return false;
+    }
+    uint32_t weight = 0;
+    if (nfields >= 2) {
+      char* end = nullptr;
+      const long value = std::strtol(fields[1].c_str(), &end, 10);
+      if (end == fields[1].c_str() || *end != '\0' || value <= 0) {
+        return false;
+      }
+      weight = static_cast<uint32_t>(value);
+    }
+    double iops = DefaultIops(cls);
+    if (nfields >= 3) {
+      char* end = nullptr;
+      const double value = std::strtod(fields[2].c_str(), &end);
+      if (end == fields[2].c_str() || *end != '\0' || value <= 0.0) {
+        return false;
+      }
+      iops = value;
+    }
+    out->push_back(TenantSpec::ForClass(
+        cls, std::string(TenantClassName(cls)) + std::to_string(index), iops,
+        weight));
+    index++;
+    if (comma == text.size()) {
+      break;
+    }
+  }
+  return !out->empty();
+}
+
+TenantSet::TenantSet(std::vector<TenantSpec> specs, uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i].arrival.seed = ArrivalSeed(i);
+  }
+}
+
+std::vector<TenantSet::Region> TenantSet::AssignRegions(
+    uint64_t footprint_blocks) const {
+  std::vector<Region> regions(specs_.size());
+  if (specs_.empty()) {
+    return regions;
+  }
+  const uint64_t slice = footprint_blocks / specs_.size();
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const uint64_t request = std::max<uint64_t>(specs_[i].request_blocks, 1);
+    regions[i].start = slice * i;
+    // Align the region length down to the request size so every aligned
+    // offset inside it fits entirely within the region.
+    regions[i].blocks = std::max((slice / request) * request, request);
+  }
+  return regions;
+}
+
+uint64_t TenantSet::ArrivalSeed(size_t i) const {
+  // SplitMix-style spread so tenant streams are decorrelated from each other
+  // and from the workload streams.
+  uint64_t x = seed_ * 0x9E3779B97F4A7C15ULL + (i + 1) * 2;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t TenantSet::WorkloadSeed(size_t i) const {
+  uint64_t x = seed_ * 0x9E3779B97F4A7C15ULL + (i + 1) * 2 + 1;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace biza

@@ -1,0 +1,56 @@
+#include "src/workload/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace biza {
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  assert(spec_.base_iops > 0.0);
+  assert(spec_.ramp_amplitude >= 0.0 && spec_.ramp_amplitude < 1.0);
+  double peak = spec_.base_iops;
+  if (spec_.burst_period_s > 0.0 && spec_.burst_mult > 1.0) {
+    peak *= spec_.burst_mult;
+  }
+  if (spec_.ramp_period_s > 0.0) {
+    peak *= 1.0 + spec_.ramp_amplitude;
+  }
+  peak_iops_ = peak;
+}
+
+double ArrivalProcess::RateAt(SimTime t) const {
+  const double ts = static_cast<double>(t) / 1e9;
+  double rate = spec_.base_iops;
+  if (spec_.burst_period_s > 0.0 && spec_.burst_mult != 1.0) {
+    const double phase =
+        std::fmod(ts + spec_.burst_phase_s, spec_.burst_period_s);
+    if (phase < spec_.burst_on_s) {
+      rate *= spec_.burst_mult;
+    }
+  }
+  if (spec_.ramp_period_s > 0.0 && spec_.ramp_amplitude > 0.0) {
+    rate *= 1.0 + spec_.ramp_amplitude *
+                      std::sin(2.0 * M_PI * ts / spec_.ramp_period_s);
+  }
+  return rate;
+}
+
+SimTime ArrivalProcess::NextAfter(SimTime t) {
+  // Lewis–Shedler thinning: draw candidates from a homogeneous Poisson
+  // process at the peak rate and accept each with probability λ(t)/peak.
+  // Both draws come from the same sequential RNG, so the sequence is a pure
+  // function of (spec, seed) and the call order.
+  double ts = static_cast<double>(t) / 1e9;
+  for (;;) {
+    ts += rng_.Exponential(1.0 / peak_iops_);
+    const SimTime candidate =
+        static_cast<SimTime>(ts * 1e9) + 1;  // strictly after t
+    if (rng_.NextDouble() * peak_iops_ <= RateAt(candidate)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace biza

@@ -17,7 +17,10 @@ Driver::Driver(Simulator* sim, BlockTarget* target,
       verify_reads_(verify_reads) {}
 
 bool Driver::ShouldStop() const {
-  return issued_ >= max_requests_ || sim_->Now() >= deadline_;
+  // Open-loop: the arrival process stops generating at the deadline, but
+  // arrivals already queued still get issued (they arrived in the window).
+  const uint64_t generated = arrival_interval_ns_ > 0 ? arrivals_ : issued_;
+  return generated >= max_requests_ || sim_->Now() >= deadline_;
 }
 
 std::vector<uint64_t> Driver::TakePatternBuffer(uint64_t nblocks) {
@@ -40,7 +43,10 @@ void Driver::RecyclePatternBuffer(std::vector<uint64_t>&& buffer) {
 
 void Driver::IssueLoop() {
   if (arrival_interval_ns_ > 0) {
-    return;  // open-loop: arrivals are paced by the timer, not completions
+    // Open-loop: arrivals are paced by the timer; completions only drain
+    // the deferred-arrival queue.
+    PumpArrivals();
+    return;
   }
   // Re-entrancy guard: a target may complete a request synchronously (e.g.
   // an allocation failure), which would otherwise recurse through the
@@ -50,12 +56,31 @@ void Driver::IssueLoop() {
   }
   in_issue_loop_ = true;
   while (inflight_ < iodepth_ && !ShouldStop()) {
-    IssueOne();
+    IssueOne(sim_->Now());
   }
   in_issue_loop_ = false;
 }
 
-void Driver::IssueOne() {
+void Driver::PumpArrivals() {
+  // Same re-entrancy hazard as IssueLoop: a synchronous completion would
+  // recurse through here for every queued arrival.
+  if (in_issue_loop_) {
+    return;
+  }
+  in_issue_loop_ = true;
+  while (inflight_ < iodepth_ && !pending_arrivals_.empty()) {
+    const SimTime intended = pending_arrivals_.front();
+    pending_arrivals_.pop_front();
+    // Coordinated-omission fix: the wait for an iodepth slot is part of the
+    // request's latency (measured from `intended` in IssueOne) and is also
+    // reported separately as queue delay.
+    report_.queue_delay.Record(sim_->Now() - intended);
+    IssueOne(intended);
+  }
+  in_issue_loop_ = false;
+}
+
+void Driver::IssueOne(SimTime intended) {
   BlockRequest req = generator_->Next();
   const uint64_t cap = target_->capacity_blocks();
   // Clamp generator footprints into the target's exposed capacity.
@@ -81,13 +106,13 @@ void Driver::IssueOne() {
     const uint64_t offset = req.offset_blocks;
     target_->SubmitWrite(
         offset, std::move(patterns),
-        [this, submit, bytes, offset](const Status& status) {
+        [this, submit, intended, bytes, offset](const Status& status) {
           inflight_--;
           if (status.ok()) {
             report_.bytes_written += bytes;
           }
           report_.requests_completed++;
-          report_.write_latency.Record(sim_->Now() - submit);
+          report_.write_latency.Record(sim_->Now() - intended);
           if (tracer_ != nullptr && tracer_->Armed(submit)) {
             tracer_->Record(Tracer::kLaneDriver, span_write_, submit,
                             sim_->Now(), key_offset_,
@@ -102,8 +127,8 @@ void Driver::IssueOne() {
     const uint64_t bytes = req.nblocks * kBlockSize;
     target_->SubmitRead(
         offset, req.nblocks,
-        [this, submit, bytes, offset](const Status& status,
-                                      std::vector<uint64_t> patterns) {
+        [this, submit, intended, bytes, offset](const Status& status,
+                                                std::vector<uint64_t> patterns) {
           inflight_--;
           if (status.ok()) {
             report_.bytes_read += bytes;
@@ -118,7 +143,7 @@ void Driver::IssueOne() {
           }
           RecyclePatternBuffer(std::move(patterns));
           report_.requests_completed++;
-          report_.read_latency.Record(sim_->Now() - submit);
+          report_.read_latency.Record(sim_->Now() - intended);
           if (tracer_ != nullptr && tracer_->Armed(submit)) {
             tracer_->Record(Tracer::kLaneDriver, span_read_, submit,
                             sim_->Now(), key_offset_,
@@ -137,19 +162,27 @@ DriverReport Driver::Run(uint64_t max_requests, SimTime max_duration) {
   start_ = sim_->Now();
   deadline_ = start_ + max_duration;
   last_completion_ = start_;
+  arrivals_ = 0;
+  pending_arrivals_.clear();
   if (arrival_interval_ns_ > 0) {
-    // Open-loop pacing: one arrival per interval, capped at iodepth. The
-    // tick holds only a weak self-reference (each scheduled event owns a
-    // strong copy), so the chain has no ownership cycle and the function
-    // dies with the last pending event or this scope, whichever is later.
+    // Open-loop pacing: one arrival per interval. Arrivals that find the
+    // iodepth cap full queue with their intended arrival time and issue as
+    // completions free slots (PumpArrivals); their latency is measured from
+    // the intended arrival, never from the delayed issue. The tick holds
+    // only a weak self-reference (each scheduled event owns a strong copy),
+    // so the chain has no ownership cycle and the function dies with the
+    // last pending event or this scope, whichever is later.
     auto tick = std::make_shared<std::function<void()>>();
     *tick = [this, wtick = std::weak_ptr<std::function<void()>>(tick)]() {
       if (ShouldStop()) {
         return;
       }
-      if (inflight_ < iodepth_) {
-        IssueOne();
+      arrivals_++;
+      if (inflight_ >= iodepth_) {
+        report_.arrivals_deferred++;
       }
+      pending_arrivals_.push_back(sim_->Now());
+      PumpArrivals();
       if (auto self = wtick.lock()) {
         sim_->Schedule(arrival_interval_ns_, [self]() { (*self)(); });
       }
@@ -160,6 +193,7 @@ DriverReport Driver::Run(uint64_t max_requests, SimTime max_duration) {
   }
   sim_->RunUntilIdle();
   assert(inflight_ == 0);
+  assert(pending_arrivals_.empty());
   report_.elapsed_ns =
       last_completion_ > start_ ? last_completion_ - start_ : 1;
   return report_;

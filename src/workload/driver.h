@@ -9,6 +9,7 @@
 #define BIZA_SRC_WORKLOAD_DRIVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -26,9 +27,17 @@ namespace biza {
 struct DriverReport {
   LatencyHistogram write_latency;
   LatencyHistogram read_latency;
+  // Open-loop only: intended-arrival -> issue delay, recorded for every
+  // arrival (0 when the iodepth cap was free). write/read latencies are
+  // measured from the *intended* arrival, so queue delay is already part of
+  // them — this histogram separates out the admission share. Empty in
+  // closed-loop mode.
+  LatencyHistogram queue_delay;
   uint64_t bytes_written = 0;
   uint64_t bytes_read = 0;
   uint64_t requests_completed = 0;
+  // Open-loop arrivals that found the iodepth cap full and had to wait.
+  uint64_t arrivals_deferred = 0;
   uint64_t verify_failures = 0;
   SimTime elapsed_ns = 0;
 
@@ -55,7 +64,10 @@ class Driver {
   // Open-loop mode: issue one request every `interval_ns` of virtual time
   // (paced like a timestamped trace replay) instead of closed-loop re-issue
   // on completion. iodepth becomes a cap on outstanding requests; arrivals
-  // beyond it are delayed. 0 restores closed-loop.
+  // beyond it are queued and issued as completions free capacity, with
+  // latency measured from the intended arrival time (no coordinated
+  // omission) and the wait reported in DriverReport::queue_delay. 0
+  // restores closed-loop.
   void SetArrivalInterval(SimTime interval_ns) {
     arrival_interval_ns_ = interval_ns;
   }
@@ -83,7 +95,12 @@ class Driver {
 
  private:
   void IssueLoop();
-  void IssueOne();
+  // Issues the next generator request; `intended` is the arrival time the
+  // latency is measured from (== Now() in closed-loop mode and for
+  // undeferred open-loop arrivals).
+  void IssueOne(SimTime intended);
+  // Open-loop issue pump: drains deferred arrivals into free iodepth slots.
+  void PumpArrivals();
   bool ShouldStop() const;
 
   // Pattern-buffer pool: completed reads donate their vectors back so the
@@ -103,11 +120,15 @@ class Driver {
   SimTime start_ = 0;
   SimTime deadline_ = 0;
   uint64_t issued_ = 0;
+  uint64_t arrivals_ = 0;  // open-loop arrivals generated (issued + waiting)
   int inflight_ = 0;
   bool in_issue_loop_ = false;
   SimTime arrival_interval_ns_ = 0;
   uint64_t epoch_ = 0;
   SimTime last_completion_ = 0;
+  // Open-loop arrivals waiting for an iodepth slot (intended arrival times,
+  // in arrival order). Issued from PumpArrivals as completions drain.
+  std::deque<SimTime> pending_arrivals_;
 
   std::unordered_map<uint64_t, uint64_t> expected_;  // verify mode
   std::vector<std::vector<uint64_t>> spare_patterns_;

@@ -8,6 +8,7 @@
 //             [--full-geometry] [--deviation=P] [--expose-channels]
 //             [--verify] [--seeds=N] [--threads=T] [--shards=N]
 //             [--bench-metric=ID]
+//             [--tenants=SPEC] [--admission=fifo|drr] [--qos]
 //             [--fail-device=D@T] [--fail-slow=D:X] [--rebuild]
 //             [--fail-slow-ramp=D:X@S+DUR] [--fail-slow-duty=D:X@P/ON]
 //             [--mitigate] [--hedge-quantile=Q] [--suspect-factor=X]
@@ -40,6 +41,19 @@
 // --bench-metric=ID wraps the whole invocation in a BenchMetricScope so one
 // machine-readable "BENCH_METRIC {...}" line (wall-clock, events, events/s,
 // shard count) is printed for tools/run_benches.sh to collect.
+//
+// Multi-tenant serving frontend (src/serve, DESIGN.md §8):
+//   --tenants=SPEC      replace the single driver with open-loop tenant
+//                       classes through the admission queue. SPEC is a
+//                       comma list of class[:weight[:iops]] with class in
+//                       latency|throughput|batch (prefixes accepted), e.g.
+//                       --tenants=lat:4:2000,batch:1:8000. --iodepth
+//                       becomes the global in-flight cap; per-tenant rows
+//                       are printed per seed.
+//   --admission=POLICY  fifo (arrival order, head-of-line blocking) or
+//                       drr (deficit round robin, the default)
+//   --qos               arm per-tenant SLO hedged reads and gray-pressure
+//                       shedding (pair with --mitigate for health signals)
 //
 // Fault injection (repeatable flags, device ids follow creation order):
 //   --fail-device=D@T   device D dies T seconds into the run (kUnavailable)
@@ -98,6 +112,7 @@
 #include "src/common/rss.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
+#include "src/serve/serve_frontend.h"
 #include "src/sim/parallel_runner.h"
 #include "src/sim/simulator.h"
 #include "src/testbed/platforms.h"
@@ -154,6 +169,13 @@ struct Options {
   std::vector<FailSlowDuty> fail_slow_duty;
   bool rebuild = false;
 
+  // Multi-tenant serving frontend (src/serve). Non-empty --tenants replaces
+  // the single-driver workload with open-loop tenant arrival processes fed
+  // through the admission queue.
+  std::string tenants;           // "class[:weight[:iops]],..."
+  std::string admission = "drr"; // fifo | drr
+  bool qos = false;              // SLO hedging + gray shedding
+
   // Gray-failure self-defense knobs (0 = keep the HealthConfig default).
   bool mitigate = false;
   double hedge_quantile = 0.0;
@@ -189,6 +211,10 @@ void PrintUsage() {
       "            --full-geometry (904 zones x 1077 MiB, real ZN540)\n"
       "            --deviation=P --expose-channels --verify\n"
       "            --seeds=N --threads=T --shards=N --bench-metric=ID\n"
+      "serving   : --tenants=class[:weight[:iops]],...  (latency|\n"
+      "            throughput|batch; prefixes ok) --admission=fifo|drr\n"
+      "            --qos (SLO hedging + gray shedding; --iodepth is the\n"
+      "            global in-flight cap)\n"
       "faults    : --fail-device=D@T --fail-slow=D:X --rebuild\n"
       "            --fail-slow-ramp=D:X@S+DUR --fail-slow-duty=D:X@P/ON\n"
       "health    : --mitigate --hedge-quantile=Q --suspect-factor=X\n"
@@ -265,6 +291,10 @@ struct RunResult {
   DriverReport report;
   WaBreakdown wa;
   std::map<std::string, SimTime> cpu;
+
+  // Serving-frontend outcome (only with --tenants); `report` then holds the
+  // merge across tenants so the summary lines still make sense.
+  std::vector<TenantReport> tenant_reports;
 
   // Fault-plane outcome (only meaningful when fault flags were given).
   bool have_faults = false;
@@ -370,27 +400,64 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   auto platform = Platform::Create(&sim, KindFromName(opt.platform), config);
   BlockTarget* target = platform->block();
 
-  const uint64_t size_blocks = std::max<uint64_t>(1, opt.size_kb / 4);
-  auto workload = MakeWorkload(opt.workload, size_blocks,
-                               target->capacity_blocks() / 2, seed_offset);
-
-  if (opt.workload.find("read") != std::string::npos) {
-    Driver::Fill(&sim, target, target->capacity_blocks() / 2, 64);
-  }
-
-  Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
-  if (obs != nullptr) {
-    driver.SetTracer(&obs->tracer);
-    if (!opt.sample_csv.empty()) {
-      // Started after the prefill so the series covers the measured phase;
-      // the sampler stops itself when the event queue drains.
-      obs->sampler.Start(&sim, static_cast<SimTime>(
-                                   opt.sample_interval_ms * 1e6));
-    }
-  }
   RunResult result;
-  result.report =
-      driver.Run(opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
+  if (!opt.tenants.empty()) {
+    // Serving-frontend mode: tenant arrival processes through the admission
+    // queue instead of the single closed-loop driver.
+    ServeConfig serve;
+    (void)ParseTenantList(opt.tenants, &serve.tenants);  // validated in main
+    serve.policy = opt.admission == "fifo" ? AdmissionPolicy::kFifo
+                                           : AdmissionPolicy::kDrr;
+    serve.iodepth = static_cast<uint64_t>(opt.iodepth);
+    serve.qos = opt.qos;
+    serve.seed = config.seed;
+    serve.duration_ns = static_cast<SimTime>(opt.seconds * 1e9);
+    ServeFrontend frontend(&sim, target, serve);
+    Driver::Fill(&sim, target, frontend.config().footprint_blocks, 64);
+    if (platform->health() != nullptr) {
+      frontend.AttachHealth(platform->health());
+    }
+    if (obs != nullptr) {
+      frontend.AttachObservability(obs.get());
+      if (!opt.sample_csv.empty()) {
+        obs->sampler.Start(&sim, static_cast<SimTime>(
+                                     opt.sample_interval_ms * 1e6));
+      }
+    }
+    result.tenant_reports = frontend.Run();
+    for (const TenantReport& t : result.tenant_reports) {
+      result.report.write_latency.Merge(t.report.write_latency);
+      result.report.read_latency.Merge(t.report.read_latency);
+      result.report.queue_delay.Merge(t.report.queue_delay);
+      result.report.bytes_written += t.report.bytes_written;
+      result.report.bytes_read += t.report.bytes_read;
+      result.report.requests_completed += t.report.requests_completed;
+      result.report.arrivals_deferred += t.report.arrivals_deferred;
+      result.report.elapsed_ns =
+          std::max(result.report.elapsed_ns, t.report.elapsed_ns);
+    }
+  } else {
+    const uint64_t size_blocks = std::max<uint64_t>(1, opt.size_kb / 4);
+    auto workload = MakeWorkload(opt.workload, size_blocks,
+                                 target->capacity_blocks() / 2, seed_offset);
+
+    if (opt.workload.find("read") != std::string::npos) {
+      Driver::Fill(&sim, target, target->capacity_blocks() / 2, 64);
+    }
+
+    Driver driver(&sim, target, workload.get(), opt.iodepth, opt.verify);
+    if (obs != nullptr) {
+      driver.SetTracer(&obs->tracer);
+      if (!opt.sample_csv.empty()) {
+        // Started after the prefill so the series covers the measured phase;
+        // the sampler stops itself when the event queue drains.
+        obs->sampler.Start(&sim, static_cast<SimTime>(
+                                     opt.sample_interval_ms * 1e6));
+      }
+    }
+    result.report =
+        driver.Run(opt.requests, static_cast<SimTime>(opt.seconds * 1e9));
+  }
 
   if (opt.rebuild && !opt.fail_device.empty()) {
     const int dead = opt.fail_device[0].device;
@@ -502,9 +569,28 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
 void PrintResult(const Options& opt, const RunResult& result) {
   const DriverReport& report = result.report;
   std::printf("workload %-16s %llu requests in %.3f s virtual\n",
-              opt.workload.c_str(),
+              result.tenant_reports.empty() ? opt.workload.c_str() : "serve",
               static_cast<unsigned long long>(report.requests_completed),
               static_cast<double>(report.elapsed_ns) / 1e9);
+  for (const TenantReport& t : result.tenant_reports) {
+    std::printf("  tenant %-12s arrivals=%llu done=%llu deferred=%llu "
+                "capped=%llu hedged=%llu wins=%llu\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.arrivals),
+                static_cast<unsigned long long>(t.report.requests_completed),
+                static_cast<unsigned long long>(t.report.arrivals_deferred),
+                static_cast<unsigned long long>(t.cap_deferrals),
+                static_cast<unsigned long long>(t.hedged_reads),
+                static_cast<unsigned long long>(t.hedge_wins));
+    if (t.report.read_latency.count() > 0) {
+      std::printf("    read : %s\n", t.report.read_latency.Summary().c_str());
+    }
+    if (t.report.write_latency.count() > 0) {
+      std::printf("    write: %s\n", t.report.write_latency.Summary().c_str());
+    }
+    if (t.report.queue_delay.count() > 0) {
+      std::printf("    queue: %s\n", t.report.queue_delay.Summary().c_str());
+    }
+  }
   std::printf("  write: %8.1f MB/s   %s\n", report.WriteMBps(),
               report.write_latency.count() > 0
                   ? report.write_latency.Summary().c_str()
@@ -694,6 +780,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.fail_slow_duty.push_back({device, mult, period_s, on_s});
+    } else if (ParseFlag(argv[i], "--tenants", &value)) {
+      std::vector<TenantSpec> parsed;
+      if (!ParseTenantList(value, &parsed)) {
+        std::fprintf(stderr,
+                     "--tenants expects class[:weight[:iops]],... with class "
+                     "in latency|throughput|batch\n");
+        return 2;
+      }
+      opt.tenants = value;
+    } else if (ParseFlag(argv[i], "--admission", &value)) {
+      if (value != "fifo" && value != "drr") {
+        std::fprintf(stderr, "--admission expects fifo or drr\n");
+        return 2;
+      }
+      opt.admission = value;
+    } else if (strcmp(argv[i], "--qos") == 0) {
+      opt.qos = true;
     } else if (strcmp(argv[i], "--mitigate") == 0) {
       opt.mitigate = true;
     } else if (ParseFlag(argv[i], "--hedge-quantile", &value)) {

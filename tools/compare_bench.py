@@ -34,13 +34,31 @@ def load_fresh(path):
 def load_baseline(path):
     if path is not None:
         return load_fresh(path)
+    # No committed baseline (first run in a repo, or BENCH_sim.json not yet
+    # tracked at HEAD) is not an error: every fresh series is then reported
+    # as informational NEW and the gate passes.
     out = subprocess.run(
         ["git", "show", "HEAD:BENCH_sim.json"],
         capture_output=True,
         text=True,
-        check=True,
+        check=False,
     )
-    return json.loads(out.stdout)
+    if out.returncode != 0:
+        print(
+            "note: no committed BENCH_sim.json baseline at HEAD; "
+            "all series are informational",
+            file=sys.stderr,
+        )
+        return {}
+    try:
+        return json.loads(out.stdout)
+    except json.JSONDecodeError:
+        print(
+            "note: committed BENCH_sim.json is unparsable; "
+            "all series are informational",
+            file=sys.stderr,
+        )
+        return {}
 
 
 def series(doc):
