@@ -20,6 +20,8 @@ const char* PlatformKindName(PlatformKind kind) {
       return "mdraid+ConvSSD";
     case PlatformKind::kRaizn:
       return "RAIZN";
+    case PlatformKind::kZapRaid:
+      return "ZapRAID";
   }
   return "?";
 }
@@ -137,6 +139,16 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
       p.zoned_ = p.raizn_.get();
       break;
     }
+    case PlatformKind::kZapRaid: {
+      make_zns();
+      std::vector<ZnsDevice*> devices;
+      for (auto& dev : p.zns_) {
+        devices.push_back(dev.get());
+      }
+      p.zapraid_ = std::make_unique<ZapRaid>(sim, devices, config.zapraid);
+      p.block_ = p.zapraid_.get();
+      break;
+    }
   }
 
   // Fault plane: one injector interposes on every member device. Device ids
@@ -163,6 +175,9 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     if (p.mdraid_) {
       p.mdraid_->SetHealthMonitor(p.health_.get());
     }
+    if (p.zapraid_) {
+      p.zapraid_->SetHealthMonitor(p.health_.get());
+    }
   }
 
   // Observability plane: per-device ids match the fault-plan ids above.
@@ -180,6 +195,9 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     }
     if (p.mdraid_) {
       p.mdraid_->AttachObservability(obs);
+    }
+    if (p.zapraid_) {
+      p.zapraid_->AttachObservability(obs);
     }
     FaultInjector* fault = p.fault_.get();
     obs->registry.RegisterCounter(
@@ -304,6 +322,9 @@ std::map<std::string, SimTime> Platform::CpuBreakdown() const {
   }
   if (biza_) {
     fold(biza_->cpu());
+  }
+  if (zapraid_) {
+    fold(zapraid_->cpu());
   }
   // Modelled kernel-I/O CPU share: per-block submission/completion handling.
   constexpr SimTime kIoNsPerBlock = 400;

@@ -30,6 +30,7 @@
 #include "src/metrics/wa_report.h"
 #include "src/sim/shard_router.h"
 #include "src/sim/simulator.h"
+#include "src/zapraid/zapraid.h"
 #include "src/zns/zns_device.h"
 
 namespace biza {
@@ -42,6 +43,7 @@ enum class PlatformKind {
   kMdraidDmzap,
   kMdraidConv,
   kRaizn,
+  kZapRaid,
 };
 
 const char* PlatformKindName(PlatformKind kind);
@@ -54,6 +56,7 @@ struct PlatformConfig {
   DmZapConfig dmzap;
   RaiznConfig raizn;
   MdraidConfig mdraid;
+  ZapRaidConfig zapraid;
   uint64_t seed = 1;
 
   // Sharded-PDES shard count: member devices are spread round-robin over
@@ -117,6 +120,7 @@ class Platform {
   BizaArray* biza() { return biza_.get(); }
   Mdraid* mdraid() { return mdraid_.get(); }
   Raizn* raizn() { return raizn_.get(); }
+  ZapRaid* zapraid() { return zapraid_.get(); }
   DmZap* top_dmzap() {
     return dmzaps_.empty() ? nullptr : dmzaps_[0].get();
   }
@@ -156,6 +160,7 @@ class Platform {
   std::unique_ptr<Raizn> raizn_;
   std::unique_ptr<Mdraid> mdraid_;
   std::unique_ptr<BizaArray> biza_;
+  std::unique_ptr<ZapRaid> zapraid_;
 
   BlockTarget* block_ = nullptr;
   ZonedTarget* zoned_ = nullptr;

@@ -1,0 +1,52 @@
+// Configuration of the ZapRAID engine (log-structured group-based RAID).
+#ifndef BIZA_SRC_ZAPRAID_ZAPRAID_CONFIG_H_
+#define BIZA_SRC_ZAPRAID_ZAPRAID_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/metrics/cpu_account.h"
+
+namespace biza {
+
+struct ZapRaidConfig {
+  // Fraction of the array's data capacity exposed to users; the remainder
+  // is over-provisioning for the log-structured write path and GC.
+  double exposed_capacity_ratio = 0.70;
+
+  // Group-granular GC thresholds on the free-group ratio: GC starts below
+  // `trigger` and runs victims until it climbs back above `stop`.
+  double gc_trigger_free_ratio = 0.20;
+  double gc_stop_free_ratio = 0.28;
+  // Valid data chunks migrated per GC batch before yielding the array.
+  uint64_t gc_batch_chunks = 32;
+
+  // Free groups only GC destinations may take; user writes stall rather
+  // than dip into them, so migration always has room to make progress.
+  uint64_t reserved_groups = 2;
+
+  // Max blocks coalesced into one device write when a zone queue drains.
+  uint64_t dispatch_batch_blocks = 64;
+
+  // When true the constructor skips opening fresh groups; the caller must
+  // invoke Recover(), which rebuilds the L2P and stripe metadata from the
+  // per-block OOB stripe headers. Use this to attach a new engine instance
+  // to devices that already hold data (host crash).
+  bool recover_mode = false;
+
+  // Bounded retry-with-backoff for transient device errors, mirroring
+  // BizaConfig: the i-th retry fires after RetryBackoffNs(i, base).
+  int max_io_retries = 3;
+  SimTime retry_backoff_base_ns = 10 * kMicrosecond;
+
+  // Online-rebuild throttle (ReplaceDevice): chunks re-homed per batch and
+  // the idle gap between batches.
+  uint64_t rebuild_batch_chunks = 64;
+  SimTime rebuild_interval_ns = 200 * kMicrosecond;
+
+  CpuCostModel costs;
+};
+
+}  // namespace biza
+
+#endif  // BIZA_SRC_ZAPRAID_ZAPRAID_CONFIG_H_

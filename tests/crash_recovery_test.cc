@@ -16,11 +16,17 @@
 // mid-ZRWA-window (a hot working set promoted to in-place updates),
 // mid-GC (churn over a small over-provisioned array), and runs with
 // scripted transient write errors keeping retries in flight at the cut.
+//
+// The harness is engine-generic: the same 105 crash points run against
+// BizaArray (ZRWA-anchored stripes) and ZapRaid (raw-zone stripes with
+// stripe-header journaling), whose recovery protocols are entirely
+// different but honor the same zero-acked-write-loss contract.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +35,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/health/device_health.h"
 #include "src/sim/simulator.h"
+#include "src/zapraid/zapraid.h"
 
 namespace biza {
 namespace {
@@ -61,8 +68,9 @@ struct Tracker {
 // actions to `*mitig_out`, when given) so callers can assert the trials
 // exercised real work.
 // (void return: gtest ASSERT_* may only be used in void functions.)
-void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
-              uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
+template <typename Engine, typename Config>
+void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
+               uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
   Simulator sim;
   FaultInjector fault(&sim);
   if (opt.fail_slow_mult > 1.0) {
@@ -79,11 +87,11 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
     devs.back()->AttachFaultInjector(&fault, d);
     ptrs.push_back(devs.back().get());
   }
-  BizaConfig config;
+  Config config;
   if (opt.capacity_ratio > 0.0) {
     config.exposed_capacity_ratio = opt.capacity_ratio;
   }
-  BizaArray array(&sim, ptrs, config);
+  Engine array(&sim, ptrs, config);
   std::unique_ptr<DeviceHealthMonitor> monitor;
   if (opt.mitigate) {
     // Fast windows so the fail-slow member is detected inside the short
@@ -157,9 +165,14 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
     *gc_out += array.stats().gc_runs;
   }
   if (mitig_out != nullptr) {
-    const BizaStats& bs = array.stats();
-    *mitig_out += bs.steered_parity_stripes + bs.gray_channel_skips +
-                  bs.hedged_reads + bs.recon_around_reads;
+    const auto& bs = array.stats();
+    if constexpr (std::is_same_v<Engine, BizaArray>) {
+      *mitig_out += bs.steered_parity_stripes + bs.gray_channel_skips +
+                    bs.hedged_reads + bs.recon_around_reads;
+    } else {
+      *mitig_out += bs.steered_parity_rows + bs.hedged_reads +
+                    bs.recon_around_reads;
+    }
     if (monitor != nullptr) {
       *mitig_out += monitor->stats().suspect_transitions +
                     monitor->stats().gray_transitions;
@@ -167,9 +180,9 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
   }
 
   // Power-loss recovery: a brand-new engine over the same devices.
-  BizaConfig rc = config;
+  Config rc = config;
   rc.recover_mode = true;
-  BizaArray recovered(&sim, ptrs, rc);
+  Engine recovered(&sim, ptrs, rc);
   const Status rs = recovered.Recover();
   ASSERT_TRUE(rs.ok()) << rs.ToString();
 
@@ -194,6 +207,16 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
         << "lbn " << lbn << ": version from the future";
   }
   *acked_out += tracker.acked_writes;
+}
+
+void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
+              uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
+  RunTrialT<BizaArray, BizaConfig>(opt, acked_out, gc_out, mitig_out);
+}
+
+void RunZapTrial(const TrialOptions& opt, uint64_t* acked_out,
+                 uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
+  RunTrialT<ZapRaid, ZapRaidConfig>(opt, acked_out, gc_out, mitig_out);
 }
 
 TEST(CrashRecovery, RandomizedCrashPointsPreserveAckedWrites) {
@@ -326,6 +349,138 @@ TEST(CrashRecovery, MitigatedGrayDevicePreservesAckedWrites) {
   }
   EXPECT_GT(total_acked, 2000u);
   // The plane must actually have acted before at least some of the cuts.
+  EXPECT_GT(mitigations, 0u);
+}
+
+// --------------------------------------------------------------------------
+// The same 105 crash points against the ZapRAID engine. Its recovery is a
+// pure stripe-header (OOB) scan with highest-wsn-wins — no ZRWA anchoring,
+// no zone-group journal — so every crash point re-validates a completely
+// different protocol under the identical contract.
+// --------------------------------------------------------------------------
+
+TEST(CrashRecoveryZapRaid, RandomizedCrashPointsPreserveAckedWrites) {
+  uint64_t total_acked = 0;
+  for (uint64_t trial = 0; trial < 60; ++trial) {
+    TrialOptions opt;
+    opt.seed = trial;
+    opt.span = (trial % 3 == 0) ? 200 : 4000;
+    RunZapTrial(opt, &total_acked);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(total_acked, 2000u);
+}
+
+// ZapRAID has no ZRWA window; the analogous hazard is the open-stripe
+// window — a hot 16-lbn set keeps rows forever part-filled, so the cut
+// lands between a data chunk's program and its row's parity program.
+TEST(CrashRecoveryZapRaid, HotSpanOpenStripeCrash) {
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    TrialOptions opt;
+    opt.seed = 1000 + trial;
+    opt.span = 16;
+    uint64_t acked = 0;
+    RunZapTrial(opt, &acked);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(CrashRecoveryZapRaid, TornStripeWithScriptedWriteErrors) {
+  for (uint64_t trial = 0; trial < 15; ++trial) {
+    TrialOptions opt;
+    opt.seed = 2000 + trial;
+    opt.scripted_write_errors = 3;
+    uint64_t acked = 0;
+    RunZapTrial(opt, &acked);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Crash while group-granular GC migrates chunks: migrated copies preserve
+// their original wsn, so after the cut both the victim's copy and the
+// migrated copy may survive — recovery must treat them as the same version.
+TEST(CrashRecoveryZapRaid, MidGcCrash) {
+  uint64_t gc_runs = 0;
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    TrialOptions opt;
+    opt.seed = 3000 + trial;
+    opt.num_zones = 16;
+    opt.zone_cap = 256;
+    opt.capacity_ratio = 0.60;
+    opt.span = 4500;
+    opt.prefill = true;
+    opt.iodepth = 16;
+    opt.crash_window = 40 * kMillisecond;
+    uint64_t acked = 0;
+    RunZapTrial(opt, &acked, &gc_runs);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(gc_runs, 0u);
+}
+
+// The 105 points once more with device 2 fail-slow and the health plane
+// armed: parity steering moves rows' parity onto the gray member and
+// reads reconstruct around it, none of which may weaken durability.
+TEST(CrashRecoveryZapRaid, MitigatedGrayDevicePreservesAckedWrites) {
+  uint64_t total_acked = 0;
+  uint64_t gc_runs = 0;
+  uint64_t mitigations = 0;
+  auto mitigated = [](TrialOptions opt) {
+    opt.fail_slow_mult = 6.0;
+    opt.mitigate = true;
+    return opt;
+  };
+  for (uint64_t trial = 0; trial < 60; ++trial) {  // randomized crash points
+    TrialOptions opt;
+    opt.seed = trial;
+    opt.span = (trial % 3 == 0) ? 200 : 4000;
+    RunZapTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 20; ++trial) {  // open-stripe windows
+    TrialOptions opt;
+    opt.seed = 1000 + trial;
+    opt.span = 16;
+    RunZapTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 15; ++trial) {  // torn stripes + retries
+    TrialOptions opt;
+    opt.seed = 2000 + trial;
+    opt.scripted_write_errors = 3;
+    RunZapTrial(mitigated(opt), &total_acked, nullptr, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 10; ++trial) {  // mid-GC churn
+    TrialOptions opt;
+    opt.seed = 3000 + trial;
+    opt.num_zones = 16;
+    opt.zone_cap = 256;
+    opt.capacity_ratio = 0.60;
+    opt.span = 4500;
+    opt.prefill = true;
+    opt.iodepth = 16;
+    opt.crash_window = 40 * kMillisecond;
+    RunZapTrial(mitigated(opt), &total_acked, &gc_runs, &mitigations);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(total_acked, 2000u);
   EXPECT_GT(mitigations, 0u);
 }
 

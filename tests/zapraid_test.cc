@@ -1,0 +1,681 @@
+// Tests of the ZapRAID engine: group/stripe mapping integrity, pad-on-seal
+// alignment, log-structured parity overhead, group-granular GC, fault
+// handling (degraded reads, auto-detected device death, transient retries),
+// online rebuild, gray-member mitigations, and stripe-header recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fault/fault_injector.h"
+#include "src/health/device_health.h"
+#include "src/sim/simulator.h"
+#include "src/zapraid/zapraid.h"
+
+namespace biza {
+namespace {
+
+ZnsConfig DevConfig(uint64_t seed, uint32_t num_zones = 48,
+                    uint64_t zone_cap = 1024) {
+  ZnsConfig config = ZnsConfig::Zn540(num_zones, zone_cap);
+  config.seed = seed;
+  return config;
+}
+
+struct Fixture {
+  Simulator sim;
+  FaultInjector fault{&sim};
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::unique_ptr<ZapRaid> array;
+
+  explicit Fixture(ZapRaidConfig config = {}, uint32_t num_zones = 48,
+                   uint64_t zone_cap = 1024, int num_devices = 4) {
+    std::vector<ZnsDevice*> ptrs;
+    for (int d = 0; d < num_devices; ++d) {
+      ZnsConfig dc =
+          DevConfig(static_cast<uint64_t>(d) + 1, num_zones, zone_cap);
+      devs.push_back(std::make_unique<ZnsDevice>(&sim, dc));
+      devs.back()->AttachFaultInjector(&fault, d);
+      ptrs.push_back(devs.back().get());
+    }
+    array = std::make_unique<ZapRaid>(&sim, ptrs, config);
+  }
+
+  Status WriteSync(uint64_t lbn, std::vector<uint64_t> patterns) {
+    Status out = InternalError("never completed");
+    array->SubmitWrite(lbn, std::move(patterns),
+                       [&](const Status& s) { out = s; }, WriteTag::kData);
+    sim.RunUntilIdle();
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> ReadSync(uint64_t lbn, uint64_t n) {
+    Status status = InternalError("never completed");
+    std::vector<uint64_t> out;
+    array->SubmitRead(lbn, n, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    if (!status.ok()) {
+      return status;
+    }
+    return out;
+  }
+
+  void FlushSync() {
+    bool done = false;
+    array->FlushBuffers([&] { done = true; });
+    sim.RunUntilIdle();
+    ASSERT_TRUE(done);
+  }
+
+  uint64_t TotalFlashWrites() const {
+    uint64_t total = 0;
+    for (const auto& dev : devs) {
+      total += dev->stats().flash_programmed_blocks;
+    }
+    return total;
+  }
+};
+
+TEST(ZapRaid, ExposesConfiguredCapacity) {
+  Fixture f;
+  // ratio * zones * zone_cap * (n-1): one chunk per row is parity.
+  const uint64_t expect = static_cast<uint64_t>(0.70 * 48 * 1024 * 3);
+  EXPECT_EQ(f.array->capacity_blocks(), expect);
+}
+
+TEST(ZapRaid, WriteReadRoundTrip) {
+  Fixture f;
+  ASSERT_TRUE(f.WriteSync(7, {0xAB}).ok());
+  ASSERT_TRUE(f.WriteSync(100, {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  auto r = f.ReadSync(7, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0xABu);
+  r = f.ReadSync(100, 8);
+  ASSERT_TRUE(r.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ((*r)[i], i + 1);
+  }
+}
+
+TEST(ZapRaid, UnwrittenReadsZero) {
+  Fixture f;
+  auto r = f.ReadSync(5000, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0u);
+  EXPECT_EQ((*r)[1], 0u);
+  EXPECT_EQ((*r)[2], 0u);
+}
+
+TEST(ZapRaid, OutOfRangeRejected) {
+  Fixture f;
+  const uint64_t cap = f.array->capacity_blocks();
+  EXPECT_FALSE(f.WriteSync(cap, {1}).ok());
+  Status status = OkStatus();
+  f.array->SubmitRead(cap - 1, 2, [&](const Status& s, std::vector<uint64_t>) {
+    status = s;
+  });
+  f.sim.RunUntilIdle();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ZapRaid, RandomWorkloadIntegrity) {
+  Fixture f;
+  Rng rng(11);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t lbn = rng.Uniform(2000);
+    const uint64_t pattern = rng.Next() | 1;
+    truth[lbn] = pattern;
+    ASSERT_TRUE(f.WriteSync(lbn, {pattern}).ok());
+  }
+  for (const auto& [lbn, pattern] : truth) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], pattern) << "lbn " << lbn;
+  }
+}
+
+TEST(ZapRaid, ParityOverheadIsOneOverK) {
+  Fixture f;
+  // Fill whole rows only: 3 data + 1 parity per row, no pads, no GC.
+  const uint64_t blocks = 3 * 1024;  // exactly one full group
+  for (uint64_t lbn = 0; lbn < blocks; lbn += 8) {
+    ASSERT_TRUE(f.WriteSync(lbn, {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  }
+  f.FlushSync();
+  const double wa = static_cast<double>(f.TotalFlashWrites()) /
+                    static_cast<double>(blocks);
+  EXPECT_NEAR(wa, 4.0 / 3.0, 0.01);
+  EXPECT_GT(f.array->stats().parity_writes, 0u);
+}
+
+TEST(ZapRaid, FlushPadsPartialRowsForAlignment) {
+  Fixture f;
+  // A single chunk leaves the row 1/3 filled: the flush must pad the other
+  // data slots so every member zone's write pointer stays in lockstep.
+  ASSERT_TRUE(f.WriteSync(42, {0xF00D}).ok());
+  f.FlushSync();
+  EXPECT_GT(f.array->stats().pad_writes, 0u);
+  EXPECT_GT(f.array->stats().rows_closed_early, 0u);
+  auto r = f.ReadSync(42, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0xF00Du);
+}
+
+TEST(ZapRaid, OverwriteTriggersGcAndReclaims) {
+  ZapRaidConfig config;
+  config.exposed_capacity_ratio = 0.60;
+  Fixture f(config, /*num_zones=*/12, /*zone_cap=*/256);
+  const uint64_t span = 3000;  // ~68% of the 4423-block exposed span
+  Rng rng(23);
+  std::vector<uint64_t> truth(span, 0);
+  for (uint64_t lbn = 0; lbn < span; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  // Random overwrites push the log frontier past the free-group floor.
+  for (int i = 0; i < 9000; ++i) {
+    const uint64_t lbn = rng.Uniform(span);
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  EXPECT_GT(f.array->stats().gc_runs, 0u);
+  EXPECT_GT(f.array->stats().gc_migrated_data, 0u);
+  EXPECT_GT(f.array->stats().gc_zone_resets, 0u);
+  EXPECT_GT(f.array->FreeGroups(), 0u);
+  for (uint64_t lbn = 0; lbn < span; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+TEST(ZapRaid, DegradedReadReconstructsFromParity) {
+  Fixture f;
+  for (uint64_t lbn = 0; lbn < 300; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn + 1}).ok());
+  }
+  f.FlushSync();
+  f.array->SetDeviceFailed(2, true);
+  for (uint64_t lbn = 0; lbn < 300; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn + 1) << "lbn " << lbn;
+  }
+  EXPECT_GT(f.array->stats().degraded_reads, 0u);
+}
+
+TEST(ZapRaid, WritesContinueAfterMemberDeath) {
+  Fixture f;
+  std::unordered_map<uint64_t, uint64_t> acked;
+  for (uint64_t lbn = 0; lbn < 120; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn + 5}).ok());
+    acked[lbn] = lbn + 5;
+  }
+  f.fault.KillDeviceAt(2, f.sim.Now() + 1);
+  // Post-death writes re-form rows over the surviving members; in-flight
+  // chunks destined for the dead member are requeued, so every write still
+  // acks successfully.
+  for (uint64_t lbn = 200; lbn < 360; ++lbn) {
+    const Status s = f.WriteSync(lbn, {lbn * 3});
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    acked[lbn] = lbn * 3;
+  }
+  EXPECT_GT(f.fault.stats().unavailable_rejections, 0u);
+  for (const auto& [lbn, expected] : acked) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], expected) << "lbn " << lbn;
+  }
+  EXPECT_GT(f.array->stats().degraded_reads, 0u);
+}
+
+TEST(ZapRaid, TransientErrorsRetriedTransparently) {
+  Fixture f;
+  f.fault.AddWriteErrors(0, 2);
+  for (uint64_t lbn = 0; lbn < 40; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn + 9}).ok());
+  }
+  EXPECT_GT(f.fault.stats().injected_write_errors, 0u);
+  EXPECT_GT(f.array->stats().write_retries, 0u);
+  f.fault.AddReadErrors(0, 2);
+  for (uint64_t lbn = 0; lbn < 40; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn + 9) << "lbn " << lbn;
+  }
+  EXPECT_GT(f.fault.stats().injected_read_errors, 0u);
+  EXPECT_GT(f.array->stats().read_retries, 0u);
+}
+
+TEST(ZapRaid, OnlineRebuildRestoresRedundancy) {
+  Fixture f;
+  Rng rng(33);
+  std::vector<uint64_t> truth(900);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  f.FlushSync();
+  f.array->SetDeviceFailed(1, true);
+  // Degraded overwrites while the member is down.
+  for (uint64_t lbn = 0; lbn < 100; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+
+  // Hot-swap a fresh spare and rebuild online.
+  f.devs.push_back(std::make_unique<ZnsDevice>(&f.sim, DevConfig(99)));
+  ASSERT_TRUE(f.array->ReplaceDevice(1, f.devs.back().get()).ok());
+  f.sim.RunUntilIdle();
+  ASSERT_FALSE(f.array->rebuild().active);
+  EXPECT_GT(f.array->rebuild().chunks_migrated, 0u);
+
+  // Prove the rebuilt copies are real: fail a *different* member, forcing
+  // every read through either direct chunks or single-failure parity paths.
+  f.array->SetDeviceFailed(3, true);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+// A member death with hundreds of chunks in flight re-homes those chunks
+// onto live members. The rows they vacated keep their already-written
+// parity, whose XOR still covers the phantom chunk — so it must be
+// invalidated, or a later reconstruction fabricates data with OK status.
+TEST(ZapRaid, MidFlightDeathNeverFabricatesReconstructedData) {
+  Fixture f;
+  Rng rng(41);
+  constexpr uint64_t kSpan = 600;
+  std::vector<uint64_t> truth(kSpan);
+  uint64_t acked = 0;
+  Status first_err = OkStatus();
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    f.array->SubmitWrite(lbn, {truth[lbn]},
+                         [&](const Status& s) {
+                           if (s.ok()) {
+                             ++acked;
+                           } else if (first_err.ok()) {
+                             first_err = s;
+                           }
+                         },
+                         WriteTag::kData);
+  }
+  f.fault.KillDeviceAt(2, f.sim.Now() + 300 * kMicrosecond);
+  f.sim.RunUntilIdle();
+  ASSERT_TRUE(first_err.ok()) << first_err.ToString();
+  EXPECT_EQ(acked, kSpan);
+  EXPECT_GT(f.array->stats().requeued_chunks, 0u);
+  f.FlushSync();
+
+  // With a second member flag-failed, every read must return the written
+  // value or an error — OK-with-wrong-data means a reconstruction XORed
+  // through parity that still covers a re-homed phantom chunk.
+  f.array->SetDeviceFailed(0, true);
+  uint64_t wrong = 0;
+  uint64_t ok_reads = 0;
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    if (!r.ok()) {
+      continue;
+    }
+    ++ok_reads;
+    if ((*r)[0] != truth[lbn]) {
+      ++wrong;
+    }
+  }
+  EXPECT_EQ(wrong, 0u);
+  EXPECT_GT(ok_reads, 0u);
+  f.array->SetDeviceFailed(0, false);
+
+  // Rebuild onto a spare: the sweep must also re-home the rows the
+  // mid-flight requeue left unprotected, so a subsequent failure of a
+  // *different* member degrades to ordinary single-parity reads.
+  f.devs.push_back(std::make_unique<ZnsDevice>(&f.sim, DevConfig(99)));
+  ASSERT_TRUE(f.array->ReplaceDevice(2, f.devs.back().get()).ok());
+  f.sim.RunUntilIdle();
+  ASSERT_FALSE(f.array->rebuild().active);
+  f.array->SetDeviceFailed(0, true);
+  wrong = 0;
+  uint64_t errors = 0;
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    if (!r.ok()) {
+      ++errors;
+      continue;
+    }
+    if ((*r)[0] != truth[lbn]) {
+      ++wrong;
+    }
+  }
+  EXPECT_EQ(wrong, 0u);
+  EXPECT_EQ(errors, 0u);
+}
+
+// Reads that are in flight to a member when it dies get re-driven through a
+// fresh L2P lookup. When the span is concurrently being overwritten, that
+// fresh mapping can point at a not-yet-programmed home — the re-drive must
+// serve the pending host copy, not the unwritten block (which reads zero).
+TEST(ZapRaid, ReadsRedrivenPastDeathServePendingHostCopies) {
+  Fixture f;
+  constexpr uint64_t kSpan = 300;
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn + 1}).ok());
+  }
+  f.FlushSync();
+  // Kill device 2 before the reads go out, with no intervening IO: the
+  // engine has not yet observed the death, so reads homed on the dead
+  // member reach the device and fail kUnavailable at submit.
+  f.fault.KillDeviceAt(2, f.sim.Now() + 1);
+  f.sim.RunUntil(f.sim.Now() + 2);
+  std::vector<Status> rst(kSpan, InternalError("pending"));
+  std::vector<uint64_t> rval(kSpan, ~0ULL);
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    f.array->SubmitRead(lbn, 1,
+                        [&rst, &rval, lbn](const Status& s,
+                                           std::vector<uint64_t> p) {
+                          rst[lbn] = s;
+                          if (s.ok()) {
+                            rval[lbn] = p[0];
+                          }
+                        });
+  }
+  // Overwrites land at the same instant, before the failure callbacks run:
+  // SubmitWrite synchronously re-points the L2P at new, not-yet-programmed
+  // homes and stages host copies in pending_. The re-driven reads must
+  // serve those host copies, not the unwritten destination blocks.
+  uint64_t wacks = 0;
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    f.array->SubmitWrite(lbn, {lbn + 1000},
+                         [&wacks](const Status& s) {
+                           if (s.ok()) {
+                             ++wacks;
+                           }
+                         },
+                         WriteTag::kData);
+  }
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(wacks, kSpan);
+  // Each read raced the overwrite of its block, so either version is
+  // linearizable — but never zero or garbage from an unwritten home.
+  uint64_t wrong = 0;
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    if (!rst[lbn].ok()) {
+      continue;
+    }
+    if (rval[lbn] != lbn + 1 && rval[lbn] != lbn + 1000) {
+      ++wrong;
+    }
+  }
+  EXPECT_EQ(wrong, 0u);
+  // And once everything settles, the overwrites won.
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn + 1000) << "lbn " << lbn;
+  }
+}
+
+// Exhausting the bounded retries on a write (scripted kDeviceError bursts)
+// abandons that zone: the batch and everything queued behind it re-home
+// onto fresh stripes, the ack still fires, and no L2P entry is left
+// pointing at a never-programmed block.
+TEST(ZapRaid, TerminalWriteFailuresRehomeWithoutLoss) {
+  Fixture f;
+  f.fault.AddWriteErrors(0, 60);  // > max_io_retries per batch: terminal
+  for (uint64_t lbn = 0; lbn < 120; ++lbn) {
+    const Status s = f.WriteSync(lbn, {lbn + 21});
+    ASSERT_TRUE(s.ok()) << lbn << ": " << s.ToString();
+  }
+  EXPECT_GT(f.fault.stats().injected_write_errors, 0u);
+  EXPECT_GT(f.array->stats().write_retries, 0u);
+  EXPECT_GT(f.array->stats().requeued_chunks, 0u);
+  f.FlushSync();
+  for (uint64_t lbn = 0; lbn < 120; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn + 21) << "lbn " << lbn;
+  }
+  // The array is healthy again once the scripted burst is consumed.
+  for (uint64_t lbn = 200; lbn < 260; ++lbn) {
+    ASSERT_TRUE(f.WriteSync(lbn, {lbn * 7}).ok());
+  }
+  for (uint64_t lbn = 200; lbn < 260; ++lbn) {
+    auto r = f.ReadSync(lbn, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], lbn * 7) << "lbn " << lbn;
+  }
+}
+
+TEST(ZapRaid, GrayMemberMitigationsEngage) {
+  Fixture f;
+  HealthConfig hc;
+  hc.enabled = true;
+  hc.window_ios = 16;
+  hc.min_window_ns = 100 * kMicrosecond;
+  DeviceHealthMonitor monitor(hc, f.devs[0]->config().timing.num_channels);
+  f.array->SetHealthMonitor(&monitor);
+  f.fault.SetFailSlow(2, 8.0);
+  Rng rng(5);
+  std::vector<uint64_t> truth(600);
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+      auto r = f.ReadSync(lbn, 1);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ((*r)[0], truth[lbn]) << "lbn " << lbn;
+    }
+  }
+  const ZapRaidStats& zs = f.array->stats();
+  EXPECT_GT(monitor.stats().suspect_transitions + monitor.stats().gray_transitions,
+            0u);
+  EXPECT_GT(zs.hedged_reads + zs.recon_around_reads + zs.steered_parity_rows,
+            0u);
+}
+
+TEST(ZapRaid, RecoveryRebuildsMappingsFromStripeHeaders) {
+  Simulator sim;
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::vector<ZnsDevice*> ptrs;
+  for (int d = 0; d < 4; ++d) {
+    devs.push_back(
+        std::make_unique<ZnsDevice>(&sim, DevConfig(static_cast<uint64_t>(d))));
+    ptrs.push_back(devs.back().get());
+  }
+  Rng rng(77);
+  std::vector<uint64_t> truth(1200);
+  {
+    ZapRaid array(&sim, ptrs, {});
+    for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+      truth[lbn] = rng.Next() | 1;
+      array.SubmitWrite(lbn, {truth[lbn]}, [](const Status&) {},
+                        WriteTag::kData);
+    }
+    // Overwrite a slice so recovery must pick the highest-wsn copy.
+    for (uint64_t lbn = 0; lbn < 200; ++lbn) {
+      truth[lbn] = rng.Next() | 1;
+      array.SubmitWrite(lbn, {truth[lbn]}, [](const Status&) {},
+                        WriteTag::kData);
+    }
+    sim.RunUntilIdle();
+    bool flushed = false;
+    array.FlushBuffers([&] { flushed = true; });
+    sim.RunUntilIdle();
+    ASSERT_TRUE(flushed);
+  }  // old engine instance discarded: only media state survives
+
+  ZapRaidConfig rc;
+  rc.recover_mode = true;
+  ZapRaid recovered(&sim, ptrs, rc);
+  ASSERT_TRUE(recovered.Recover().ok());
+  for (uint64_t lbn = 0; lbn < truth.size(); ++lbn) {
+    Status status = InternalError("pending");
+    std::vector<uint64_t> out;
+    recovered.SubmitRead(lbn, 1, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    ASSERT_TRUE(status.ok());
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0], truth[lbn]) << "lbn " << lbn;
+  }
+
+  // The recovered array keeps working: fresh writes and readback.
+  for (uint64_t lbn = 2000; lbn < 2100; ++lbn) {
+    Status status = InternalError("pending");
+    recovered.SubmitWrite(lbn, {lbn * 13}, [&](const Status& s) { status = s; },
+                          WriteTag::kData);
+    sim.RunUntilIdle();
+    ASSERT_TRUE(status.ok());
+  }
+  for (uint64_t lbn = 2000; lbn < 2100; ++lbn) {
+    Status status = InternalError("pending");
+    std::vector<uint64_t> out;
+    recovered.SubmitRead(lbn, 1, [&](const Status& s, std::vector<uint64_t> p) {
+      status = s;
+      out = std::move(p);
+    });
+    sim.RunUntilIdle();
+    ASSERT_TRUE(status.ok());
+    ASSERT_EQ(out[0], lbn * 13);
+  }
+}
+
+// A hedged read's direct leg can complete kUnavailable when the suspect
+// member dies mid-hedge. The leg must degrade like the normal read path
+// (detect the death, re-drive through reconstruction) instead of failing
+// the user read.
+TEST(ZapRaid, HedgedReadsSurviveSuspectMemberDeath) {
+  Fixture f;
+  HealthConfig hc;
+  hc.enabled = true;
+  hc.window_ios = 16;
+  hc.min_window_ns = 100 * kMicrosecond;
+  DeviceHealthMonitor monitor(hc, f.devs[0]->config().timing.num_channels);
+  f.array->SetHealthMonitor(&monitor);
+  f.fault.SetFailSlow(2, 3.0);  // suspect-grade: hedging, not gray
+  Rng rng(19);
+  constexpr uint64_t kSpan = 400;
+  std::vector<uint64_t> truth(kSpan);
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    truth[lbn] = rng.Next() | 1;
+    ASSERT_TRUE(f.WriteSync(lbn, {truth[lbn]}).ok());
+  }
+  f.FlushSync();
+  // Warm the detector until hedging engages.
+  for (int pass = 0; pass < 4 && f.array->stats().hedged_reads == 0; ++pass) {
+    for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+      auto r = f.ReadSync(lbn, 1);
+      ASSERT_TRUE(r.ok());
+    }
+  }
+  ASSERT_GT(f.array->stats().hedged_reads, 0u);
+  // Kill the suspect before a full wave of reads goes out, with no
+  // intervening IO: the engine still treats device 2 as a live suspect, so
+  // every read homed there takes the hedged path and its direct leg fails
+  // kUnavailable at submit. The leg must fall back to degraded reads, not
+  // fail the user read.
+  f.fault.KillDeviceAt(2, f.sim.Now() + 1);
+  f.sim.RunUntil(f.sim.Now() + 2);
+  std::vector<Status> rst(kSpan, InternalError("pending"));
+  std::vector<uint64_t> rval(kSpan, ~0ULL);
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    f.array->SubmitRead(lbn, 1,
+                        [&rst, &rval, lbn](const Status& s,
+                                           std::vector<uint64_t> p) {
+                          rst[lbn] = s;
+                          if (s.ok()) {
+                            rval[lbn] = p[0];
+                          }
+                        });
+  }
+  f.sim.RunUntilIdle();
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    ASSERT_TRUE(rst[lbn].ok()) << "lbn " << lbn << ": "
+                               << rst[lbn].ToString();
+    EXPECT_EQ(rval[lbn], truth[lbn]) << "lbn " << lbn;
+  }
+}
+
+// A crash can persist a row's parity while one member's data program is
+// lost (torn row). Recovery must not trust such parity: every degraded
+// view of the recovered array has to agree with the healthy view, rather
+// than fabricating sibling chunks through a XOR that covers the lost one.
+TEST(ZapRaid, RecoveryRejectsTornRowParity) {
+  Simulator sim;
+  FaultInjector fault(&sim);
+  fault.SetFailSlow(1, 25.0);  // device 1 lags: its programs tear at the cut
+  std::vector<std::unique_ptr<ZnsDevice>> devs;
+  std::vector<ZnsDevice*> ptrs;
+  for (int d = 0; d < 4; ++d) {
+    devs.push_back(std::make_unique<ZnsDevice>(
+        &sim, DevConfig(static_cast<uint64_t>(d) + 7)));
+    devs.back()->AttachFaultInjector(&fault, d);
+    ptrs.push_back(devs.back().get());
+  }
+  constexpr uint64_t kSpan = 600;
+  {
+    ZapRaid array(&sim, ptrs, {});
+    for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+      array.SubmitWrite(lbn, {lbn + 11}, [](const Status&) {},
+                        WriteTag::kData);
+    }
+    sim.RunUntil(sim.Now() + 400 * kMicrosecond);
+    sim.DropPending();  // power cut mid-flight
+  }
+  ZapRaidConfig rc;
+  rc.recover_mode = true;
+  ZapRaid rec(&sim, ptrs, rc);
+  ASSERT_TRUE(rec.Recover().ok());
+
+  auto read1 = [&](uint64_t lbn, Status* status) {
+    uint64_t value = 0;
+    *status = InternalError("pending");
+    rec.SubmitRead(lbn, 1, [&](const Status& s, std::vector<uint64_t> p) {
+      *status = s;
+      if (s.ok()) {
+        value = p[0];
+      }
+    });
+    sim.RunUntilIdle();
+    return value;
+  };
+
+  // Healthy ground truth: what the recovered media actually holds.
+  std::vector<uint64_t> healthy(kSpan);
+  for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+    Status s = OkStatus();
+    healthy[lbn] = read1(lbn, &s);
+    ASSERT_TRUE(s.ok());
+  }
+  // Every single-member-failed view must agree with it or error out.
+  uint64_t wrong = 0;
+  for (int d = 0; d < 4; ++d) {
+    rec.SetDeviceFailed(d, true);
+    for (uint64_t lbn = 0; lbn < kSpan; ++lbn) {
+      Status s = OkStatus();
+      const uint64_t v = read1(lbn, &s);
+      if (s.ok() && v != healthy[lbn]) {
+        ++wrong;
+      }
+    }
+    rec.SetDeviceFailed(d, false);
+  }
+  EXPECT_EQ(wrong, 0u);
+  EXPECT_GT(rec.stats().degraded_reads, 0u);
+}
+
+}  // namespace
+}  // namespace biza

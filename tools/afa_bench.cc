@@ -201,7 +201,8 @@ void PrintUsage() {
   std::printf(
       "afa_bench --platform=<p> --workload=<w> [options]\n\n"
       "platforms : BIZA BIZAw/oSelector BIZAw/oAvoid dmzap+RAIZN\n"
-      "            mdraid+dmzap mdraid+ConvSSD\n"
+      "            mdraid+dmzap mdraid+ConvSSD ZapRAID\n"
+      "            (--engine=biza|mdraid|zapraid is the three-way shorthand)\n"
       "workloads : seqwrite randwrite seqread randread\n"
       "            casa online ikki proj web DAP MSNFS lun0 lun1 tencent\n"
       "            randomwrite fileserv oltp webserver fillseq fillrandom\n"
@@ -237,12 +238,31 @@ PlatformKind KindFromName(const std::string& name) {
   for (PlatformKind kind :
        {PlatformKind::kBiza, PlatformKind::kBizaNoSelector,
         PlatformKind::kBizaNoAvoid, PlatformKind::kDmzapRaizn,
-        PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv}) {
+        PlatformKind::kMdraidDmzap, PlatformKind::kMdraidConv,
+        PlatformKind::kZapRaid}) {
     if (name == PlatformKindName(kind)) {
       return kind;
     }
   }
   std::fprintf(stderr, "unknown platform '%s'\n", name.c_str());
+  exit(2);
+}
+
+// --engine is the three-way comparison shorthand: each engine name selects
+// its canonical ZNS-backed platform (mdraid runs over per-SSD dm-zap so all
+// three sit on identical ZNS members).
+const char* PlatformForEngine(const std::string& engine) {
+  if (engine == "biza") {
+    return "BIZA";
+  }
+  if (engine == "mdraid") {
+    return "mdraid+dmzap";
+  }
+  if (engine == "zapraid") {
+    return "ZapRAID";
+  }
+  std::fprintf(stderr, "unknown engine '%s' (biza|mdraid|zapraid)\n",
+               engine.c_str());
   exit(2);
 }
 
@@ -479,6 +499,21 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
         result.rebuild_seconds =
             static_cast<double>(sim.Now() - start) / 1e9;
       }
+    } else if (platform->zapraid() != nullptr) {
+      ZnsDevice* spare = platform->AddSpareZnsDevice(&sim);
+      const SimTime start = sim.Now();
+      platform->zapraid()->SetDeviceFailed(dead, true);
+      const Status s = platform->zapraid()->ReplaceDevice(dead, spare);
+      if (!s.ok()) {
+        std::fprintf(stderr, "ReplaceDevice: %s\n", s.ToString().c_str());
+      } else {
+        sim.RunUntilIdle();  // rebuild self-schedules until FinishRebuild
+        result.rebuild_ran = !platform->zapraid()->rebuild().active;
+        result.rebuild_blocks = platform->zapraid()->rebuild().chunks_migrated;
+        result.rebuild_passes = platform->zapraid()->rebuild().passes;
+        result.rebuild_seconds =
+            static_cast<double>(sim.Now() - start) / 1e9;
+      }
     } else if (platform->mdraid() != nullptr &&
                KindFromName(opt.platform) == PlatformKind::kMdraidConv) {
       BlockTarget* spare = platform->AddSpareConvTarget(&sim);
@@ -535,6 +570,17 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
     result.recon_around_reads = ms.recon_around_reads;
     result.probe_reads = ms.health_probe_reads;
     result.recon_fallbacks = ms.recon_fallbacks;
+  } else if (platform->zapraid() != nullptr) {
+    const ZapRaidStats& zs = platform->zapraid()->stats();
+    result.degraded_reads = zs.degraded_reads;
+    result.read_retries = zs.read_retries;
+    result.write_retries = zs.write_retries;
+    result.hedged_reads = zs.hedged_reads;
+    result.hedge_recon_wins = zs.hedge_recon_wins;
+    result.recon_around_reads = zs.recon_around_reads;
+    result.probe_reads = zs.health_probe_reads;
+    result.recon_fallbacks = zs.recon_fallbacks;
+    result.steered_parity_stripes = zs.steered_parity_rows;
   }
   if (platform->health() != nullptr) {
     result.have_health = true;
@@ -706,6 +752,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (ParseFlag(argv[i], "--platform", &value)) {
       opt.platform = value;
+    } else if (ParseFlag(argv[i], "--engine", &value)) {
+      opt.platform = PlatformForEngine(value);
     } else if (ParseFlag(argv[i], "--workload", &value)) {
       opt.workload = value;
     } else if (ParseFlag(argv[i], "--requests", &value)) {
