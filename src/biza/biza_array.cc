@@ -2378,15 +2378,33 @@ void BizaArray::GcStep() {
       explicit MigrateJoin(BizaArray* a) : array(a) {}
       ~MigrateJoin() {
         BizaArray* a = array;
+        if (a->gc_active_ && a->gc_pass_failed_) {
+          // Some chunk was not re-homed (destination exhausted or write
+          // error); the scan cursor was rolled back over it, so the victim
+          // cannot be reset yet. Back off to let seals/completions free
+          // destination space, and abandon the victim after too many futile
+          // passes — its chunks stay readable in place, and the pressure
+          // surfaces as write stalls instead of erased acknowledged data.
+          if (++a->gc_futile_passes_ > 64) {
+            a->gc_futile_passes_ = 0;
+            a->gc_active_ = false;
+            return;
+          }
+          a->sim_->Schedule(200 * kMicrosecond, [a]() { a->GcStep(); });
+          return;
+        }
+        a->gc_futile_passes_ = 0;
         a->sim_->Schedule(0, [a]() { a->GcStep(); });
       }
     };
     auto mjoin = std::make_shared<MigrateJoin>(this);
+    gc_pass_failed_ = false;
 
     // Batched mode collects the batch's surviving data chunks and re-homes
     // them with one gather write (one partial-parity refresh) after the loop.
     std::vector<uint64_t> gather_lbns;
     std::vector<uint64_t> gather_patterns;
+    uint64_t gather_min_off = zone_cap_;
     uint64_t rescan = zone_cap_;
     for (size_t idx = 0; idx < gc_batch->items.size(); ++idx) {
       if (gc_batch->ok[idx] == 0) {
@@ -2417,7 +2435,12 @@ void BizaArray::GcStep() {
         }
         ZoneScheduler* sched = PickZone(gc_device_, kGroupGcDest, 1);
         if (sched == nullptr) {
+          // Leave the parity in place and re-attempt before any reset: the
+          // SMT still points into the victim, so erasing it would strand
+          // every read of this stripe's parity row.
           BIZA_LOG_ERROR("GC: no destination zone on device %d", gc_device_);
+          rescan = std::min(rescan, item.offset);
+          gc_pass_failed_ = true;
           continue;
         }
         const uint64_t off = sched->Allocate(1);
@@ -2457,15 +2480,34 @@ void BizaArray::GcStep() {
         if (config_.batched_gc_io) {
           gather_lbns.push_back(item.oob.lbn);
           gather_patterns.push_back(pattern);
+          gather_min_off = std::min(gather_min_off, item.offset);
         } else {
+          const uint64_t moff = item.offset;
           SubmitWrite(item.oob.lbn, {pattern},
-                      [mjoin](const Status&) {}, WriteTag::kGcData);
+                      [this, mjoin, moff](const Status& s) {
+                        if (!s.ok()) {
+                          // Not re-homed: the BMT still points into the
+                          // victim, which therefore must not be reset.
+                          gc_scan_ = std::min(gc_scan_, moff);
+                          gc_pass_failed_ = true;
+                        }
+                      },
+                      WriteTag::kGcData);
         }
       }
     }
     if (!gather_lbns.empty()) {
       SubmitWriteGather(std::move(gather_lbns), std::move(gather_patterns),
-                        [mjoin](const Status&) {}, WriteTag::kGcData);
+                        [this, mjoin, gather_min_off](const Status& s) {
+                          if (!s.ok()) {
+                            // A failed gather re-homed only a prefix; the
+                            // rescan filter retries exactly the chunks whose
+                            // BMT still points into the victim.
+                            gc_scan_ = std::min(gc_scan_, gather_min_off);
+                            gc_pass_failed_ = true;
+                          }
+                        },
+                        WriteTag::kGcData);
     }
     if (rescan < zone_cap_) {
       gc_scan_ = std::min<uint64_t>(gc_scan_, rescan);

@@ -393,6 +393,14 @@ class BizaArray : public BlockTarget {
   int gc_device_ = -1;
   uint32_t gc_victim_zone_ = 0;
   uint64_t gc_scan_ = 0;
+  // A migration in the current pass failed or could not allocate a
+  // destination. The scan cursor is rolled back over the affected chunks,
+  // so the victim cannot be declared empty (and reset) while live content
+  // remains — resetting would erase acknowledged data. Failed passes retry
+  // with a backoff; after too many futile passes the victim is abandoned
+  // un-reset (safe: its chunks stay readable in place).
+  bool gc_pass_failed_ = false;
+  uint64_t gc_futile_passes_ = 0;
   // Per-device BUSY channel attribution while GC runs (the channels of the
   // GC destination zones).
   std::vector<int> gc_busy_channel_set_;

@@ -10,6 +10,7 @@ ConvSsd::ConvSsd(Simulator* sim, const ConvSsdConfig& config)
     : sim_(sim),
       config_(config),
       backend_(std::make_unique<NandBackend>(sim, config.timing)),
+      nvmeq_(sim, config.nvme, config.dispatch_base_ns),
       rng_(config.seed) {
   const uint64_t physical_pages = static_cast<uint64_t>(
       static_cast<double>(config_.capacity_blocks) *
@@ -103,6 +104,14 @@ void ConvSsd::AttachObservability(Observability* obs, int device_id) {
   reg.RegisterCounter(prefix + "erases", [this] { return stats_.erases; });
   reg.RegisterCounter(prefix + "gc_runs", [this] { return stats_.gc_runs; });
   reg.RegisterGauge(prefix + "free_blocks", [this] { return free_blocks_; });
+  if (nvmeq_.enabled()) {
+    reg.RegisterCounter(prefix + "nvme.doorbells",
+                        [this] { return nvmeq_.stats().doorbells; });
+    reg.RegisterCounter(prefix + "nvme.interrupts",
+                        [this] { return nvmeq_.stats().interrupts; });
+    reg.RegisterCounter(prefix + "nvme.qd_stalls",
+                        [this] { return nvmeq_.stats().qd_stalls; });
+  }
   backend_->SetTracer(&obs->tracer, device_id);
 }
 
@@ -110,11 +119,10 @@ void ConvSsd::SubmitWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                           WriteCallback cb, WriteTag tag) {
   // Arrival is anchored on the host clock (the submitting event's time);
   // unsharded, HostNow() == Now().
-  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(),
-                   [this, lbn, patterns = std::move(patterns),
-                    cb = std::move(cb), tag]() mutable {
-                     DoWrite(lbn, std::move(patterns), std::move(cb), tag);
-                   });
+  AtArrival([this, lbn, patterns = std::move(patterns), cb = std::move(cb),
+             tag]() mutable {
+    DoWrite(lbn, std::move(patterns), std::move(cb), tag);
+  });
 }
 
 uint64_t ConvSsd::AllocatePage(int channel) {
@@ -275,7 +283,7 @@ bool ConvSsd::CollectOne() {
 void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
                       WriteCallback cb, WriteTag tag) {
   auto fail = [this, &cb](Status status) {
-    sim_->CompleteNow(
+    CompleteIoNow(
         [cb = std::move(cb), status = std::move(status)] { cb(status); });
   };
   Status fault = FaultCheck(IoKind::kWrite);
@@ -321,19 +329,18 @@ void ConvSsd::DoWrite(uint64_t lbn, std::vector<uint64_t> patterns,
   stats_.host_written_blocks += n;
   stats_.flash_programmed_blocks += n;
   stats_.flash_by_tag[static_cast<int>(tag)] += n;
-  sim_->CompleteAt(Stretch(done), [cb = std::move(cb)]() { cb(OkStatus()); });
+  CompleteIo(Stretch(done), [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ConvSsd::SubmitRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
-  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(),
-                   [this, lbn, nblocks, cb = std::move(cb)]() mutable {
-                     DoRead(lbn, nblocks, std::move(cb));
-                   });
+  AtArrival([this, lbn, nblocks, cb = std::move(cb)]() mutable {
+    DoRead(lbn, nblocks, std::move(cb));
+  });
 }
 
 void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   auto fail = [this, &cb](Status status) {
-    sim_->CompleteNow(
+    CompleteIoNow(
         [cb = std::move(cb), status = std::move(status)] { cb(status, {}); });
   };
   Status fault = FaultCheck(IoKind::kRead);
@@ -359,10 +366,10 @@ void ConvSsd::DoRead(uint64_t lbn, uint64_t nblocks, ReadCallback cb) {
   }
   stats_.host_read_blocks += nblocks;
   const SimTime done = backend_->Read(channel, nblocks * kBlockSize);
-  sim_->CompleteAt(Stretch(done),
-                   [cb = std::move(cb), patterns = std::move(patterns)]() mutable {
-                     cb(OkStatus(), std::move(patterns));
-                   });
+  CompleteIo(Stretch(done),
+             [cb = std::move(cb), patterns = std::move(patterns)]() mutable {
+               cb(OkStatus(), std::move(patterns));
+             });
 }
 
 Result<uint64_t> ConvSsd::ReadPatternSync(uint64_t lbn) const {

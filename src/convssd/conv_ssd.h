@@ -28,6 +28,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/metrics/observability.h"
 #include "src/nand/nand_backend.h"
+#include "src/nvme/nvme_queue.h"
 #include "src/sim/simulator.h"
 
 namespace biza {
@@ -40,8 +41,15 @@ struct ConvSsdConfig {
   double gc_trigger_free_ratio = 0.06;    // start GC below this free share
   double gc_stop_free_ratio = 0.10;       // collect until this free share
   NandTimingConfig timing = ConvTiming();
+  // Legacy dispatch path: base + U[0, jitter) per command. The jitter
+  // constant is DEPRECATED in favor of the queue-derived delay of the NVMe
+  // frontend below; the legacy default stays bit-identical to seed.
+  // dispatch_base_ns also remains the sharded-PDES lookahead floor.
   SimTime dispatch_base_ns = 2 * kMicrosecond;
-  SimTime dispatch_jitter_ns = 8 * kMicrosecond;
+  SimTime dispatch_jitter_ns = 8 * kMicrosecond;  // deprecated, see above
+  // Modeled NVMe SQ/CQ pairs; when enabled the dispatch RNG is never
+  // consumed and dispatch_jitter_ns is ignored.
+  NvmeQueueConfig nvme;
   uint64_t seed = 1;
 
   // Model GC transfers as channel runs (one ReadRun + one ProgramRun per
@@ -101,6 +109,7 @@ class ConvSsd {
   const ConvSsdConfig& config() const { return config_; }
   const ConvSsdStats& stats() const { return stats_; }
   NandBackend& backend() { return *backend_; }
+  const NvmeQueuePair& nvme_queue() const { return nvmeq_; }
 
   // Bytes of FTL state currently resident (L2P + physical-page tables +
   // flash-block descriptors). Scales with written data, not raw capacity.
@@ -143,6 +152,33 @@ class ConvSsd {
 
   SimTime DispatchDelay();
 
+  // Submission/completion paths: through the modeled NVMe queue pairs when
+  // enabled, otherwise the legacy jittered dispatch and direct completions.
+  template <typename F>
+  void AtArrival(F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Submit(InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(), std::forward<F>(fn));
+  }
+  template <typename F>
+  void CompleteIo(SimTime when, F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Complete(when, InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    sim_->CompleteAt(when, std::forward<F>(fn));
+  }
+  template <typename F>
+  void CompleteIoNow(F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Complete(sim_->Now(), InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    sim_->CompleteNow(std::forward<F>(fn));
+  }
+
   // Explicit-now variants: the injector must see this device's clock, not
   // the host's, when the device drains on a shard thread (identical when
   // unsharded).
@@ -161,6 +197,7 @@ class ConvSsd {
   Simulator* sim_;
   ConvSsdConfig config_;
   std::unique_ptr<NandBackend> backend_;
+  NvmeQueuePair nvmeq_;
   Rng rng_;
   FaultInjector* fault_ = nullptr;
   int fault_device_id_ = -1;

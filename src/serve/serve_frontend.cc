@@ -131,8 +131,12 @@ void ServeFrontend::OnArrival(size_t tenant_index) {
   const TenantSpec& spec = tenant_set_.spec(tenant_index);
   const SimTime now = sim_->Now();
   tenant.report.arrivals++;
-  tenant.fingerprint = (tenant.fingerprint ^ static_cast<uint64_t>(now)) *
-                       1099511628211ULL;  // FNV-1a prime
+  // Fold the arrival's offset from Run() start, not absolute sim time: the
+  // arrival process is a pure function of (seed, tenant), but how long the
+  // pre-run fill took (e.g. legacy vs queued device frontend) is not.
+  tenant.fingerprint =
+      (tenant.fingerprint ^ static_cast<uint64_t>(now - start_)) *
+      1099511628211ULL;  // FNV-1a prime
 
   ServeRequest request;
   request.tenant = static_cast<int>(tenant_index);

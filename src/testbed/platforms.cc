@@ -151,6 +151,15 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     }
   }
 
+  // Host write-buffer tier: stacked above whatever block engine the kind
+  // produced, so every platform (and the crash harness) sees the same
+  // absorption/ack semantics. Raw RAIZN has no block target to wrap.
+  if (config.hostbuf.enabled && p.block_ != nullptr) {
+    p.hostbuf_ =
+        std::make_unique<HostWriteBuffer>(sim, p.block_, config.hostbuf);
+    p.block_ = p.hostbuf_.get();
+  }
+
   // Fault plane: one injector interposes on every member device. Device ids
   // match creation order (0..num_ssds-1), so --fail-device=D@T addresses the
   // D-th member regardless of platform kind.
@@ -198,6 +207,24 @@ std::unique_ptr<Platform> Platform::Create(Simulator* sim, PlatformKind kind,
     }
     if (p.zapraid_) {
       p.zapraid_->AttachObservability(obs);
+    }
+    if (p.hostbuf_) {
+      HostWriteBuffer* hb = p.hostbuf_.get();
+      obs->registry.RegisterCounter(
+          "hostbuf.write_blocks",
+          [hb] { return hb->stats().write_blocks; });
+      obs->registry.RegisterCounter(
+          "hostbuf.absorbed_blocks",
+          [hb] { return hb->stats().absorbed_blocks; });
+      obs->registry.RegisterCounter(
+          "hostbuf.flushed_blocks",
+          [hb] { return hb->stats().flushed_blocks; });
+      obs->registry.RegisterCounter(
+          "hostbuf.admission_stalls",
+          [hb] { return hb->stats().admission_stalls; });
+      obs->registry.RegisterGauge(
+          "hostbuf.occupancy_blocks",
+          [hb] { return hb->occupancy_blocks(); });
     }
     FaultInjector* fault = p.fault_.get();
     obs->registry.RegisterCounter(
@@ -353,6 +380,14 @@ void Platform::Quiesce(Simulator* sim) {
 std::vector<ZnsDevice*> Platform::zns_devices() {
   std::vector<ZnsDevice*> out;
   for (auto& dev : zns_) {
+    out.push_back(dev.get());
+  }
+  return out;
+}
+
+std::vector<ConvSsd*> Platform::conv_devices() {
+  std::vector<ConvSsd*> out;
+  for (auto& dev : conv_) {
     out.push_back(dev.get());
   }
   return out;

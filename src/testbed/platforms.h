@@ -28,6 +28,7 @@
 #include "src/health/device_health.h"
 #include "src/metrics/observability.h"
 #include "src/metrics/wa_report.h"
+#include "src/nvme/host_buffer.h"
 #include "src/sim/shard_router.h"
 #include "src/sim/simulator.h"
 #include "src/zapraid/zapraid.h"
@@ -81,6 +82,11 @@ struct PlatformConfig {
   // completion callbacks, which run on the host clock.
   HealthConfig health;
 
+  // Host-side ZNS write-buffer tier (src/nvme/host_buffer.h). When enabled
+  // the platform stacks a HostWriteBuffer above the engine's block target;
+  // block() then returns the buffer. Disabled by default (bit-identical).
+  HostBufferConfig hostbuf;
+
   // Optional observability sink (not owned). When set, Platform::Create
   // attaches it to every member device and engine: counters/gauges land in
   // obs->registry, spans in obs->tracer. nullptr keeps everything dark.
@@ -117,6 +123,7 @@ class Platform {
   void Quiesce(Simulator* sim);
 
   std::vector<ZnsDevice*> zns_devices();
+  std::vector<ConvSsd*> conv_devices();
   BizaArray* biza() { return biza_.get(); }
   Mdraid* mdraid() { return mdraid_.get(); }
   Raizn* raizn() { return raizn_.get(); }
@@ -126,6 +133,7 @@ class Platform {
   }
   FaultInjector* faults() { return fault_.get(); }
   DeviceHealthMonitor* health() { return health_.get(); }
+  HostWriteBuffer* hostbuf() { return hostbuf_.get(); }
 
   // Effective shard count after clamping (1 = legacy single-clock engine).
   int shards() const { return router_ ? router_->num_shards() : 1; }
@@ -161,6 +169,8 @@ class Platform {
   std::unique_ptr<Mdraid> mdraid_;
   std::unique_ptr<BizaArray> biza_;
   std::unique_ptr<ZapRaid> zapraid_;
+  // Declared after the engines it wraps: destroyed first.
+  std::unique_ptr<HostWriteBuffer> hostbuf_;
 
   BlockTarget* block_ = nullptr;
   ZonedTarget* zoned_ = nullptr;

@@ -11,6 +11,7 @@
 
 #include "src/common/units.h"
 #include "src/nand/nand_backend.h"
+#include "src/nvme/nvme_queue.h"
 
 namespace biza {
 
@@ -33,11 +34,22 @@ struct ZnsConfig {
   // (models wear-leveling decisions hidden behind the ZNS interface, §3.3).
   double wear_level_deviation = 0.0;
 
-  // Submission-path dispatch jitter: every command reaches the device at
-  // submit_time + base + U[0, jitter). Non-zero jitter reorders in-flight
-  // commands exactly like the Linux block layer / NVMe driver (§3.2).
+  // Legacy submission path (nvme.enabled == false): every command reaches
+  // the device at submit_time + base + U[0, jitter). Non-zero jitter
+  // reorders in-flight commands like the Linux block layer / NVMe driver
+  // (§3.2), but is DEPRECATED as a model: it makes queue depth, queue
+  // count and batching unmodelable. Prefer the NVMe queue-pair frontend
+  // below, which derives dispatch delay from doorbell batching, round-robin
+  // arbitration and SQE fetch order. The legacy default stays bit-identical
+  // to pre-frontend builds; `dispatch_base_ns` also remains the
+  // conservative-lookahead floor of the sharded engine in both modes.
   SimTime dispatch_base_ns = 2 * kMicrosecond;
-  SimTime dispatch_jitter_ns = 8 * kMicrosecond;
+  SimTime dispatch_jitter_ns = 8 * kMicrosecond;  // deprecated, see above
+
+  // Modeled NVMe SQ/CQ pairs (src/nvme/nvme_queue.h). Disabled by default;
+  // when enabled, dispatch_jitter_ns is ignored and the dispatch RNG is
+  // never consumed.
+  NvmeQueueConfig nvme;
 
   // Future-ZNS extension (§6 of the paper): expose the zone-to-channel
   // mapping in the OPEN command's completion. When set, DebugChannelOf()

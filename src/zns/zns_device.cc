@@ -29,6 +29,7 @@ ZnsDevice::ZnsDevice(Simulator* sim, const ZnsConfig& config)
     : sim_(sim),
       config_(config),
       backend_(std::make_unique<NandBackend>(sim, config.timing)),
+      nvmeq_(sim, config.nvme, config.dispatch_base_ns),
       rng_(config.seed) {
   zones_.resize(config_.num_zones);
   // Chunk granularity: zones fill sequentially (append discipline), so
@@ -86,6 +87,14 @@ void ZnsDevice::AttachObservability(Observability* obs, int device_id) {
     reg.RegisterGauge(prefix + "chan" + std::to_string(c) + ".backlog_ns",
                       [this, c] { return backend_->ChannelBacklogNs(c); });
   }
+  if (nvmeq_.enabled()) {
+    reg.RegisterCounter(prefix + "nvme.doorbells",
+                        [this] { return nvmeq_.stats().doorbells; });
+    reg.RegisterCounter(prefix + "nvme.interrupts",
+                        [this] { return nvmeq_.stats().interrupts; });
+    reg.RegisterCounter(prefix + "nvme.qd_stalls",
+                        [this] { return nvmeq_.stats().qd_stalls; });
+  }
   h_write_ = reg.Histogram(prefix + "write_latency_ns");
   h_read_ = reg.Histogram(prefix + "read_latency_ns");
   span_write_ = obs_->tracer.Intern("zns.write");
@@ -103,13 +112,6 @@ SimTime ZnsDevice::DispatchDelay() {
     delay += rng_.Uniform(config_.dispatch_jitter_ns);
   }
   return delay;
-}
-
-void ZnsDevice::AtArrival(std::function<void()> fn) {
-  // Anchored on the host clock: the submitting engine event decides when
-  // the command was issued. On a device shard sim_->Now() may sit elsewhere
-  // inside the current lookahead window; unsharded, HostNow() == Now().
-  sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(), std::move(fn));
 }
 
 Status ZnsDevice::ValidateZoneId(uint32_t zone) const {
@@ -203,10 +205,10 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
                         std::vector<uint64_t> patterns,
                         std::vector<OobRecord> oobs, WriteCallback cb) {
   // Error completions leave the device with zero device-side latency, so
-  // they too must cross back to the host as messages (CompleteNow); the
-  // unsharded path invokes them inline, exactly as before.
+  // they too must cross back to the host as messages; the unsharded legacy
+  // path invokes them inline, exactly as before.
   auto fail = [this, &cb](Status status) {
-    sim_->CompleteNow(
+    CompleteIoNow(
         [cb = std::move(cb), status = std::move(status)] { cb(status); });
   };
   Status status = FaultCheck(IoKind::kWrite);
@@ -289,7 +291,7 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
     MaybeTransitionFull(z);
     const SimTime fin = Stretch(z.channel, done);
     ObserveIo(span_write_, h_write_, fin, zone, offset, n);
-    sim_->CompleteAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
+    CompleteIo(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
     return;
   }
 
@@ -315,7 +317,7 @@ void ZnsDevice::DoWrite(uint32_t zone, uint64_t offset,
   MaybeTransitionFull(z);
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_write_, h_write_, fin, zone, offset, n);
-  sim_->CompleteAt(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
+  CompleteIo(fin, [cb = std::move(cb)]() { cb(OkStatus()); });
 }
 
 void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
@@ -329,7 +331,7 @@ void ZnsDevice::SubmitAppend(uint32_t zone, std::vector<uint64_t> patterns,
 void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
                          std::vector<OobRecord> oobs, AppendCallback cb) {
   auto fail = [this, &cb](Status status) {
-    sim_->CompleteNow(
+    CompleteIoNow(
         [cb = std::move(cb), status = std::move(status)] { cb(status, 0); });
   };
   Status status = FaultCheck(IoKind::kWrite);
@@ -379,8 +381,8 @@ void ZnsDevice::DoAppend(uint32_t zone, std::vector<uint64_t> patterns,
   MaybeTransitionFull(z);
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_append_, h_write_, fin, zone, offset, n);
-  sim_->CompleteAt(fin,
-                   [cb = std::move(cb), offset]() { cb(OkStatus(), offset); });
+  CompleteIo(fin,
+             [cb = std::move(cb), offset]() { cb(OkStatus(), offset); });
 }
 
 void ZnsDevice::SubmitRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
@@ -393,7 +395,7 @@ void ZnsDevice::SubmitRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
 void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
                        ReadCallback cb) {
   auto fail = [this, &cb](Status status) {
-    sim_->CompleteNow(
+    CompleteIoNow(
         [cb = std::move(cb), status = std::move(status)] { cb(status, {}); });
   };
   Status status = FaultCheck(IoKind::kRead);
@@ -443,10 +445,10 @@ void ZnsDevice::DoRead(uint32_t zone, uint64_t offset, uint64_t nblocks,
   }
   const SimTime fin = Stretch(z.channel, done);
   ObserveIo(span_read_, h_read_, fin, zone, offset, nblocks);
-  sim_->CompleteAt(fin,
-                   [cb = std::move(cb), result = std::move(result)]() mutable {
-                     cb(OkStatus(), std::move(result));
-                   });
+  CompleteIo(fin,
+             [cb = std::move(cb), result = std::move(result)]() mutable {
+               cb(OkStatus(), std::move(result));
+             });
 }
 
 Status ZnsDevice::OpenZone(uint32_t zone, bool with_zrwa) {

@@ -42,6 +42,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/metrics/observability.h"
 #include "src/nand/nand_backend.h"
+#include "src/nvme/nvme_queue.h"
 #include "src/sim/simulator.h"
 #include "src/zns/zns_config.h"
 
@@ -172,6 +173,8 @@ class ZnsDevice {
 
   const ZnsConfig& config() const { return config_; }
   const ZnsDeviceStats& stats() const { return stats_; }
+  // The NVMe queue-pair frontend (inert unless config.nvme.enabled).
+  const NvmeQueuePair& nvme_queue() const { return nvmeq_; }
   NandBackend& backend() { return *backend_; }
   Simulator* sim() { return sim_; }
 
@@ -214,9 +217,42 @@ class ZnsDevice {
     ChunkedArray<Block> blocks;
   };
 
-  // Dispatch helpers: all data-plane commands arrive after jitter.
+  // Dispatch helpers. Legacy mode: every data-plane command arrives after
+  // base + jitter and completes with its own CompleteAt event. With the
+  // NVMe frontend enabled, arrivals ride doorbell batches and completions
+  // ride coalesced interrupts instead (src/nvme/nvme_queue.h).
   SimTime DispatchDelay();
-  void AtArrival(std::function<void()> fn);
+  template <typename F>
+  void AtArrival(F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Submit(InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    // Anchored on the host clock: the submitting engine event decides when
+    // the command was issued. On a device shard sim_->Now() may sit
+    // elsewhere inside the current lookahead window; unsharded,
+    // HostNow() == Now().
+    sim_->ScheduleAt(sim_->HostNow() + DispatchDelay(), std::forward<F>(fn));
+  }
+  template <typename F>
+  void CompleteIo(SimTime when, F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Complete(when, InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    sim_->CompleteAt(when, std::forward<F>(fn));
+  }
+  // Error completions: zero device-side latency. Legacy: inline unsharded,
+  // a timestamped message sharded. Frontend: they post a CQE like any
+  // completion (real NVMe error completions are interrupt-coalesced too).
+  template <typename F>
+  void CompleteIoNow(F&& fn) {
+    if (nvmeq_.enabled()) {
+      nvmeq_.Complete(sim_->Now(), InlineCallback(std::forward<F>(fn)));
+      return;
+    }
+    sim_->CompleteNow(std::forward<F>(fn));
+  }
 
   // Fault-plane hooks: consulted at command arrival / completion scheduling.
   // Passing this device's own clock keeps the injector off the host clock,
@@ -276,6 +312,7 @@ class ZnsDevice {
   Simulator* sim_;
   ZnsConfig config_;
   std::unique_ptr<NandBackend> backend_;
+  NvmeQueuePair nvmeq_;
   Rng rng_;
   FaultInjector* fault_ = nullptr;
   int fault_device_id_ = -1;

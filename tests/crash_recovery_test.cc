@@ -34,6 +34,7 @@
 #include "src/common/rng.h"
 #include "src/fault/fault_injector.h"
 #include "src/health/device_health.h"
+#include "src/nvme/host_buffer.h"
 #include "src/sim/simulator.h"
 #include "src/zapraid/zapraid.h"
 
@@ -55,6 +56,10 @@ struct TrialOptions {
   double capacity_ratio = 0.0;        // 0 = BizaConfig default
   double fail_slow_mult = 0.0;        // > 1: device 2 fail-slow all run
   bool mitigate = false;              // attach a fast-window health monitor
+  // Host write-buffer tier above the engine: 0 = off, 1 = write-through,
+  // 2 = write-back (NVRAM pool; its contents survive the cut and are
+  // replayed into the recovered engine before verification).
+  int hostbuf = 0;
 };
 
 struct Tracker {
@@ -70,7 +75,8 @@ struct Tracker {
 // (void return: gtest ASSERT_* may only be used in void functions.)
 template <typename Engine, typename Config>
 void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
-               uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
+               uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr,
+               uint64_t* absorbed_out = nullptr) {
   Simulator sim;
   FaultInjector fault(&sim);
   if (opt.fail_slow_mult > 1.0) {
@@ -103,6 +109,18 @@ void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
     monitor = std::make_unique<DeviceHealthMonitor>(hc, num_channels);
     array.SetHealthMonitor(monitor.get());
   }
+  // Optional host write-buffer tier; all traffic goes through `front`.
+  std::unique_ptr<HostWriteBuffer> hostbuf;
+  BlockTarget* front = &array;
+  if (opt.hostbuf != 0) {
+    HostBufferConfig hc;
+    hc.enabled = true;
+    hc.mode = opt.hostbuf == 1 ? HostBufferMode::kWriteThrough
+                               : HostBufferMode::kWriteBack;
+    hc.capacity_blocks = 256;
+    hostbuf = std::make_unique<HostWriteBuffer>(&sim, &array, hc);
+    front = hostbuf.get();
+  }
   const uint64_t span = std::min(opt.span, array.capacity_blocks());
 
   Tracker tracker;
@@ -114,7 +132,7 @@ void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
     uint64_t prefill_ok = 0;
     for (uint64_t lbn = 0; lbn < span; ++lbn) {
       tracker.submitted[lbn] = 1;
-      array.SubmitWrite(lbn, {(lbn << kVersionBits) | 1},
+      front->SubmitWrite(lbn, {(lbn << kVersionBits) | 1},
                         [&tracker, &prefill_ok, lbn](const Status& s) {
                           if (s.ok()) {
                             tracker.acked[lbn] = 1;
@@ -140,7 +158,7 @@ void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
     const uint64_t lbn = rng.Uniform(span);
     const uint64_t version = ++tracker.submitted[lbn];
     ASSERT_LE(version, kVersionMask);
-    array.SubmitWrite(lbn, {(lbn << kVersionBits) | version},
+    front->SubmitWrite(lbn, {(lbn << kVersionBits) | version},
                       [&tracker, &submit, lbn, version](const Status& s) {
                         if (s.ok()) {
                           uint64_t& acked = tracker.acked[lbn];
@@ -186,6 +204,26 @@ void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
   const Status rs = recovered.Recover();
   ASSERT_TRUE(rs.ok()) << rs.ToString();
 
+  // NVRAM replay: the buffer pool's contents survive the cut (its pending
+  // ack/flush *events* do not), so recovery rewrites every dirty block into
+  // the recovered engine before serving reads. Write-through has nothing
+  // dirty that was ever acknowledged, but replay is harmless either way.
+  if (hostbuf != nullptr) {
+    if (absorbed_out != nullptr) {
+      *absorbed_out += hostbuf->stats().absorbed_blocks;
+    }
+    for (const auto& db : hostbuf->DirtyContents()) {
+      Status replayed = InternalError("pending");
+      recovered.SubmitWrite(db.lbn, {db.pattern},
+                            [&replayed](const Status& s) { replayed = s; },
+                            db.tag);
+      sim.RunUntilIdle();
+      ASSERT_TRUE(replayed.ok())
+          << "NVRAM replay failed at lbn " << db.lbn << ": "
+          << replayed.ToString();
+    }
+  }
+
   for (const auto& [lbn, acked_version] : tracker.acked) {
     Status status = InternalError("pending");
     std::vector<uint64_t> out;
@@ -199,7 +237,9 @@ void RunTrialT(const TrialOptions& opt, uint64_t* acked_out,
     ASSERT_EQ(out.size(), 1u);
     const uint64_t got_lbn = out[0] >> kVersionBits;
     const uint64_t got_version = out[0] & kVersionMask;
-    ASSERT_EQ(got_lbn, lbn) << "foreign pattern at lbn " << lbn;
+    ASSERT_EQ(got_lbn, lbn) << "foreign pattern at lbn " << lbn << " (seed "
+                            << opt.seed << ", crash at " << crash_at
+                            << " ns, acked " << acked_version << ")";
     EXPECT_GE(got_version, acked_version)
         << "lbn " << lbn << ": acknowledged write lost (seed " << opt.seed
         << ", crash at " << crash_at << " ns)";
@@ -217,6 +257,72 @@ void RunTrial(const TrialOptions& opt, uint64_t* acked_out,
 void RunZapTrial(const TrialOptions& opt, uint64_t* acked_out,
                  uint64_t* gc_out = nullptr, uint64_t* mitig_out = nullptr) {
   RunTrialT<ZapRaid, ZapRaidConfig>(opt, acked_out, gc_out, mitig_out);
+}
+
+// The full 105-point harness with the host write-buffer tier stacked above
+// the engine. `mode` is TrialOptions::hostbuf (1 = write-through, 2 =
+// write-back). Write-through must match the bare engine's zero-acked-write-
+// loss contract exactly; write-back may only ack once the pool holds the
+// block, and recovery replays the surviving pool into the rebuilt engine —
+// so the identical acked <= recovered <= submitted check applies to both.
+template <typename Engine, typename Config>
+void RunHostBufHarness(int mode) {
+  uint64_t total_acked = 0;
+  uint64_t gc_runs = 0;
+  uint64_t absorbed = 0;
+  for (uint64_t trial = 0; trial < 60; ++trial) {  // randomized crash points
+    TrialOptions opt;
+    opt.seed = trial;
+    opt.span = (trial % 3 == 0) ? 200 : 4000;
+    opt.hostbuf = mode;
+    RunTrialT<Engine, Config>(opt, &total_acked, nullptr, nullptr, &absorbed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 20; ++trial) {  // hot-span windows
+    TrialOptions opt;
+    opt.seed = 1000 + trial;
+    opt.span = 16;
+    opt.hostbuf = mode;
+    RunTrialT<Engine, Config>(opt, &total_acked, nullptr, nullptr, &absorbed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 15; ++trial) {  // torn flush runs
+    TrialOptions opt;
+    opt.seed = 2000 + trial;
+    opt.scripted_write_errors = 3;
+    opt.hostbuf = mode;
+    RunTrialT<Engine, Config>(opt, &total_acked, nullptr, nullptr, &absorbed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  for (uint64_t trial = 0; trial < 10; ++trial) {  // mid-GC churn
+    TrialOptions opt;
+    opt.seed = 3000 + trial;
+    opt.num_zones = 16;
+    opt.zone_cap = 256;
+    opt.capacity_ratio = 0.60;
+    opt.span = 4500;
+    opt.prefill = true;
+    opt.iodepth = 16;
+    opt.crash_window = 40 * kMillisecond;
+    opt.hostbuf = mode;
+    RunTrialT<Engine, Config>(opt, &total_acked, &gc_runs, nullptr,
+                              &absorbed);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_GT(total_acked, 2000u);
+  if (mode == 2) {
+    // Write-back must actually have coalesced hot updates in the pool —
+    // otherwise the harness never exercised the NVRAM-replay path.
+    EXPECT_GT(absorbed, 0u);
+  }
 }
 
 TEST(CrashRecovery, RandomizedCrashPointsPreserveAckedWrites) {
@@ -482,6 +588,29 @@ TEST(CrashRecoveryZapRaid, MitigatedGrayDevicePreservesAckedWrites) {
   }
   EXPECT_GT(total_acked, 2000u);
   EXPECT_GT(mitigations, 0u);
+}
+
+// --------------------------------------------------------------------------
+// The 105 crash points with the host write-buffer tier above each engine.
+// Write-through adds latency but no new durability surface; write-back acks
+// out of the NVRAM pool, so these trials prove the pool's survive-and-replay
+// protocol upholds the same contract as the bare engines.
+// --------------------------------------------------------------------------
+
+TEST(CrashRecovery, WriteThroughHostBufferPreservesAckedWrites) {
+  RunHostBufHarness<BizaArray, BizaConfig>(/*mode=*/1);
+}
+
+TEST(CrashRecovery, WriteBackHostBufferPreservesAckedWrites) {
+  RunHostBufHarness<BizaArray, BizaConfig>(/*mode=*/2);
+}
+
+TEST(CrashRecoveryZapRaid, WriteThroughHostBufferPreservesAckedWrites) {
+  RunHostBufHarness<ZapRaid, ZapRaidConfig>(/*mode=*/1);
+}
+
+TEST(CrashRecoveryZapRaid, WriteBackHostBufferPreservesAckedWrites) {
+  RunHostBufHarness<ZapRaid, ZapRaidConfig>(/*mode=*/2);
 }
 
 }  // namespace

@@ -311,12 +311,18 @@ struct ServeOutcome {
 };
 
 ServeOutcome RunServe(int shards, uint64_t seed, AdmissionPolicy policy,
-                      bool qos = false, bool fail_slow = false) {
+                      bool qos = false, bool fail_slow = false,
+                      bool nvme = false) {
   Simulator sim;
   PlatformConfig config;
   config.zns = ZnsConfig::Zn540(/*num_zones=*/64, /*zone_capacity_blocks=*/1024);
   config.seed = seed;
   config.shards = shards;
+  if (nvme) {
+    config.zns.nvme.enabled = true;
+    config.zns.nvme.num_queues = 4;
+    config.zns.nvme.queue_depth = 32;
+  }
   if (fail_slow) {
     config.faults.Device(1).latency_mult = 8.0;
     config.health.enabled = true;
@@ -396,6 +402,38 @@ TEST(ServeFrontend, ArrivalSequenceIsShardCountInvariant) {
               again.reports[i].report.requests_completed);
     EXPECT_EQ(sharded4.reports[i].report.elapsed_ns,
               again.reports[i].report.elapsed_ns);
+  }
+}
+
+TEST(ServeFrontend, ArrivalSequenceIsInvariantUnderNvmeQueueFrontend) {
+  // Switching the devices from per-command dispatch to queue-pair submission
+  // (batched doorbells, coalesced interrupts) reshapes every completion
+  // time — but arrivals are a pure function of (seed, tenant) and must not
+  // move. Completion-dependent fields (latency, throughput) may differ.
+  const ServeOutcome legacy = RunServe(1, 31, AdmissionPolicy::kDrr);
+  const ServeOutcome queued = RunServe(1, 31, AdmissionPolicy::kDrr,
+                                       /*qos=*/false, /*fail_slow=*/false,
+                                       /*nvme=*/true);
+  EXPECT_EQ(legacy.fingerprints, queued.fingerprints);
+  ASSERT_EQ(legacy.reports.size(), queued.reports.size());
+  for (size_t i = 0; i < legacy.reports.size(); ++i) {
+    EXPECT_EQ(legacy.reports[i].arrivals, queued.reports[i].arrivals);
+  }
+
+  // The queued serve path is itself deterministic, at 1 and 4 shards.
+  const ServeOutcome queued_again = RunServe(1, 31, AdmissionPolicy::kDrr,
+                                             false, false, /*nvme=*/true);
+  EXPECT_EQ(queued.fingerprints, queued_again.fingerprints);
+  const ServeOutcome q4a = RunServe(4, 31, AdmissionPolicy::kDrr, false,
+                                    false, /*nvme=*/true);
+  const ServeOutcome q4b = RunServe(4, 31, AdmissionPolicy::kDrr, false,
+                                    false, /*nvme=*/true);
+  EXPECT_EQ(q4a.fingerprints, q4b.fingerprints);
+  for (size_t i = 0; i < q4a.reports.size(); ++i) {
+    EXPECT_EQ(q4a.reports[i].report.requests_completed,
+              q4b.reports[i].report.requests_completed);
+    EXPECT_EQ(q4a.reports[i].report.elapsed_ns,
+              q4b.reports[i].report.elapsed_ns);
   }
 }
 

@@ -143,6 +143,19 @@ struct Options {
   int threads = 0;  // 0 = DefaultExperimentThreads()
   int shards = 0;   // 0 = BIZA_SIM_SHARDS env, 1 = single-clock engine
   std::string bench_metric;  // non-empty: print a BENCH_METRIC line
+
+  // NVMe queue-pair frontend (src/nvme). 0 queues = the legacy jittered
+  // dispatch path; any of these set switches every member device to
+  // doorbell-batched submission with interrupt-coalesced completions.
+  int nvme_queues = 0;
+  int nvme_qd = 0;          // 0 = NvmeQueueConfig default
+  int irq_threshold = 0;    // 0 = default
+  double irq_timer_us = 0;  // 0 = default
+
+  // Host-side write-buffer tier (src/nvme/host_buffer.h). 0 KiB = off.
+  uint64_t hostbuf_kb = 0;
+  std::string hostbuf_mode = "wb";  // wb | wt
+  uint64_t hostbuf_run = 0;         // max flush-run blocks, 0 = default
   struct FailAt {
     int device;
     double seconds;
@@ -212,6 +225,10 @@ void PrintUsage() {
       "            --full-geometry (904 zones x 1077 MiB, real ZN540)\n"
       "            --deviation=P --expose-channels --verify\n"
       "            --seeds=N --threads=T --shards=N --bench-metric=ID\n"
+      "nvme      : --queues=N --qd=N (modeled SQ/CQ pairs; 0 = legacy\n"
+      "            jittered dispatch) --irq-threshold=N --irq-timer-us=U\n"
+      "hostbuf   : --hostbuf-kb=N (NVRAM pool, 0 = off)\n"
+      "            --hostbuf-mode=wb|wt --hostbuf-run=BLOCKS\n"
       "serving   : --tenants=class[:weight[:iops]],...  (latency|\n"
       "            throughput|batch; prefixes ok) --admission=fifo|drr\n"
       "            --qos (SLO hedging + gray shedding; --iodepth is the\n"
@@ -339,6 +356,12 @@ struct RunResult {
   uint64_t steered_parity_stripes = 0;
   uint64_t gray_channel_skips = 0;
 
+  // NVMe frontend / host-buffer outcome (only with --queues / --hostbuf-kb).
+  bool have_nvme = false;
+  NvmeQueueStats nvme_stats;  // summed across member devices
+  bool have_hostbuf = false;
+  HostBufferStats hostbuf_stats;
+
   // Observability exports, serialized per seed inside the worker thread so
   // main only stitches strings (keeps file I/O out of the parallel region).
   std::string trace_json;       // comma-separated trace_event fragment
@@ -359,6 +382,32 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   config.seed += seed_offset;
   config.zns.seed += seed_offset;
   config.shards = opt.shards;
+  if (opt.nvme_queues > 0) {
+    NvmeQueueConfig nq;
+    nq.enabled = true;
+    nq.num_queues = static_cast<uint32_t>(opt.nvme_queues);
+    if (opt.nvme_qd > 0) {
+      nq.queue_depth = static_cast<uint32_t>(opt.nvme_qd);
+    }
+    if (opt.irq_threshold > 0) {
+      nq.irq_threshold = static_cast<uint32_t>(opt.irq_threshold);
+    }
+    if (opt.irq_timer_us > 0) {
+      nq.irq_timer_ns = static_cast<SimTime>(opt.irq_timer_us * 1e3);
+    }
+    config.zns.nvme = nq;
+    config.conv.nvme = nq;
+  }
+  if (opt.hostbuf_kb > 0) {
+    config.hostbuf.enabled = true;
+    config.hostbuf.capacity_blocks = std::max<uint64_t>(1, opt.hostbuf_kb / 4);
+    config.hostbuf.mode = opt.hostbuf_mode == "wt"
+                              ? HostBufferMode::kWriteThrough
+                              : HostBufferMode::kWriteBack;
+    if (opt.hostbuf_run > 0) {
+      config.hostbuf.max_run_blocks = opt.hostbuf_run;
+    }
+  }
   config.MatchConvCapacity();
 
   config.faults.seed = config.seed;
@@ -540,6 +589,32 @@ RunResult RunExperiment(const Options& opt, uint64_t seed_offset) {
   result.capacity_blocks = target->capacity_blocks();
   result.shards = platform->shards();
   RecordSimEvents(sim, result.report);
+  if (opt.nvme_queues > 0) {
+    result.have_nvme = true;
+    auto fold = [&result](const NvmeQueueStats& s) {
+      result.nvme_stats.commands += s.commands;
+      result.nvme_stats.doorbells += s.doorbells;
+      result.nvme_stats.interrupts += s.interrupts;
+      result.nvme_stats.coalesced_commands += s.coalesced_commands;
+      result.nvme_stats.coalesced_cqes += s.coalesced_cqes;
+      result.nvme_stats.qd_stalls += s.qd_stalls;
+      result.nvme_stats.max_batch =
+          std::max(result.nvme_stats.max_batch, s.max_batch);
+    };
+    for (ZnsDevice* dev : platform->zns_devices()) {
+      fold(dev->nvme_queue().stats());
+    }
+    for (ConvSsd* dev : platform->conv_devices()) {
+      fold(dev->nvme_queue().stats());
+    }
+    // Count the collapsed logical events so BENCH_METRIC events/s compares
+    // command throughput, not heap traffic (see RecordAbsorbedEvents).
+    RecordAbsorbedEvents(result.nvme_stats.absorbed_events());
+  }
+  if (platform->hostbuf() != nullptr) {
+    result.have_hostbuf = true;
+    result.hostbuf_stats = platform->hostbuf()->stats();
+  }
   result.wa = platform->CollectWa(result.report.bytes_written / kBlockSize);
   result.cpu = platform->CpuBreakdown();
 
@@ -661,6 +736,31 @@ void PrintResult(const Options& opt, const RunResult& result) {
                     static_cast<double>(report.elapsed_ns) * 100.0);
   }
   std::printf("\n");
+  if (result.have_nvme) {
+    const NvmeQueueStats& ns = result.nvme_stats;
+    std::printf("  nvme : cmds=%llu doorbells=%llu irqs=%llu "
+                "coalesced_sqe=%llu coalesced_cqe=%llu qd_stalls=%llu "
+                "max_batch=%llu\n",
+                static_cast<unsigned long long>(ns.commands),
+                static_cast<unsigned long long>(ns.doorbells),
+                static_cast<unsigned long long>(ns.interrupts),
+                static_cast<unsigned long long>(ns.coalesced_commands),
+                static_cast<unsigned long long>(ns.coalesced_cqes),
+                static_cast<unsigned long long>(ns.qd_stalls),
+                static_cast<unsigned long long>(ns.max_batch));
+  }
+  if (result.have_hostbuf) {
+    const HostBufferStats& hs = result.hostbuf_stats;
+    std::printf("  hostbuf: wr_blocks=%llu absorbed=%llu flushed=%llu "
+                "runs=%llu read_hits=%llu stalls=%llu bypass=%llu\n",
+                static_cast<unsigned long long>(hs.write_blocks),
+                static_cast<unsigned long long>(hs.absorbed_blocks),
+                static_cast<unsigned long long>(hs.flushed_blocks),
+                static_cast<unsigned long long>(hs.flush_runs),
+                static_cast<unsigned long long>(hs.read_hit_blocks),
+                static_cast<unsigned long long>(hs.admission_stalls),
+                static_cast<unsigned long long>(hs.bypass_writes));
+  }
   if (result.have_faults) {
     std::printf("  fault: rejected=%llu inj_rd=%llu inj_wr=%llu "
                 "degraded_wr=%llu degraded_rd=%llu retries_rd=%llu "
@@ -792,6 +892,32 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "--bench-metric", &value)) {
       opt.bench_metric = value;
+    } else if (ParseFlag(argv[i], "--queues", &value)) {
+      opt.nvme_queues = atoi(value.c_str());
+      if (opt.nvme_queues < 1) {
+        std::fprintf(stderr, "--queues must be >= 1\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--qd", &value)) {
+      opt.nvme_qd = atoi(value.c_str());
+      if (opt.nvme_qd < 1) {
+        std::fprintf(stderr, "--qd must be >= 1\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--irq-threshold", &value)) {
+      opt.irq_threshold = atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--irq-timer-us", &value)) {
+      opt.irq_timer_us = atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--hostbuf-kb", &value)) {
+      opt.hostbuf_kb = strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--hostbuf-mode", &value)) {
+      if (value != "wb" && value != "wt") {
+        std::fprintf(stderr, "--hostbuf-mode expects wb or wt\n");
+        return 2;
+      }
+      opt.hostbuf_mode = value;
+    } else if (ParseFlag(argv[i], "--hostbuf-run", &value)) {
+      opt.hostbuf_run = strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--fail-device", &value)) {
       int device = 0;
       double seconds = 0.0;

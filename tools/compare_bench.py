@@ -6,7 +6,12 @@ fails (exit 1) when simulation throughput regressed by more than the
 threshold (default 15%) on any series:
 
   - sim_perf entries: google-benchmark median items_per_second per case,
-  - bench_metrics entries: events_per_s per figure/table bench.
+  - bench_metrics entries: events_per_s per figure/table bench,
+  - frontend_series entries (NVME_FRONTEND / HOSTBUF_ENDURANCE lines):
+    per-series deterministic metrics — simulated MB/s for each NVMe
+    queue-sweep series, user-per-device-write ratio for each host-buffer
+    endurance point. These are pure functions of the seed (no wall clock),
+    so the gate on them is noise-free.
 
 Usage:
     tools/run_benches.sh --quick          # writes a fresh BENCH_sim.json
@@ -81,6 +86,27 @@ def series(doc):
             shards = int(entry.get("shards") or 1)
             suffix = f"@shards={shards}" if shards > 1 else ""
             out["bench:" + name + suffix] = float(eps)
+    for entry in doc.get("frontend_series") or []:
+        kind = entry.get("series_kind")
+        if kind == "NVME_FRONTEND":
+            # Simulated bandwidth is deterministic per seed set; logical
+            # events/s depends on the wall clock and is tracked via the
+            # bench's aggregate BENCH_METRIC instead.
+            name = entry.get("series")
+            mbps = entry.get("mbps")
+            if name and mbps:
+                out[f"nvme:{name}:mbps"] = float(mbps)
+        elif kind == "HOSTBUF_ENDURANCE":
+            # Gate on user blocks per device write (inverse of
+            # device_per_user) so that, as everywhere else in this gate,
+            # bigger is better: more absorption/less device wear.
+            eng = entry.get("engine")
+            pool_kb = entry.get("pool_kb")
+            dpu = entry.get("device_per_user")
+            if eng is not None and pool_kb is not None and dpu:
+                out[f"hostbuf:{eng}@{pool_kb}kb:user_per_dev"] = (
+                    1.0 / float(dpu)
+                )
     return out
 
 

@@ -40,10 +40,13 @@ echo "== sim_perf (event-queue microbenchmark) =="
   --benchmark_out_format=json
 
 metric_lines="${tmp_dir}/metrics.jsonl"
+series_lines="${tmp_dir}/series.jsonl"
 : > "${metric_lines}"
+: > "${series_lines}"
 if [[ "${quick}" -eq 1 && -f "${out_json}" ]]; then
   # Quick mode refreshes sim_perf only; keep the last full run's metrics.
   jq -r '.bench_metrics[]? | @json' "${out_json}" >> "${metric_lines}" || true
+  jq -r '.frontend_series[]? | @json' "${out_json}" >> "${series_lines}" || true
 fi
 histograms_json="${tmp_dir}/histograms.json"
 echo '{}' > "${histograms_json}"
@@ -60,6 +63,13 @@ if [[ "${quick}" -eq 0 ]]; then
     echo "== ${name} =="
     "${bench}" | tee "${tmp_dir}/${name}.out" | grep '^BENCH_METRIC ' \
       | sed 's/^BENCH_METRIC //' >> "${metric_lines}" || true
+    # Per-series machine-readable lines (NVMe frontend sweep, host-buffer
+    # endurance curve): tagged with their kind so compare_bench.py can
+    # gate each series on its deterministic metric.
+    grep -E '^(NVME_FRONTEND|HOSTBUF_ENDURANCE) ' "${tmp_dir}/${name}.out" \
+      | while read -r kind json; do
+          jq -c --arg kind "${kind}" '. + {series_kind: $kind}' <<<"${json}"
+        done >> "${series_lines}" || true
   done
 
   # Reference latency-histogram snapshot: one fixed BIZA run with the stat
@@ -89,6 +99,7 @@ fi
 jq -n \
   --slurpfile perf "${tmp_dir}/sim_perf.json" \
   --slurpfile metrics <(cat "${metric_lines}" 2>/dev/null; true) \
+  --slurpfile fseries <(cat "${series_lines}" 2>/dev/null; true) \
   --slurpfile hist "${histograms_json}" \
   '{
      generated_by: "tools/run_benches.sh",
@@ -97,6 +108,7 @@ jq -n \
                              .aggregate_name == "median")
                       | {name, items_per_second})),
      bench_metrics: $metrics,
+     frontend_series: $fseries,
      histograms: ($hist[0] // {})
    }' > "${out_json}"
 
